@@ -1,0 +1,71 @@
+// Shared table-printing and shape-fitting helpers for the experiment
+// harness. Every bench binary regenerates one experiment from
+// EXPERIMENTS.md: it prints the measured series next to the paper's
+// predicted complexity expression and the fit ratio measured/predicted,
+// which should be roughly flat if the implementation matches the claimed
+// shape.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace dcolor::bench {
+
+struct Row {
+  std::vector<std::string> cells;
+};
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  template <typename... Args>
+  void add(Args... args) {
+    rows_.push_back(Row{{to_cell(args)...}});
+  }
+
+  void print(const std::string& title) const {
+    std::printf("\n== %s ==\n", title.c_str());
+    auto width = [&](std::size_t c) {
+      std::size_t w = headers_[c].size();
+      for (const Row& r : rows_) w = std::max(w, r.cells[c].size());
+      return w;
+    };
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = width(c);
+    auto line = [&](const std::vector<std::string>& cells) {
+      for (std::size_t c = 0; c < cells.size(); ++c) {
+        std::printf("%-*s  ", static_cast<int>(widths[c]), cells[c].c_str());
+      }
+      std::printf("\n");
+    };
+    line(headers_);
+    std::vector<std::string> dashes;
+    for (std::size_t c = 0; c < headers_.size(); ++c) dashes.push_back(std::string(widths[c], '-'));
+    line(dashes);
+    for (const Row& r : rows_) line(r.cells);
+  }
+
+ private:
+  static std::string to_cell(const char* s) { return s; }
+  static std::string to_cell(const std::string& s) { return s; }
+  static std::string to_cell(int v) { return std::to_string(v); }
+  static std::string to_cell(long v) { return std::to_string(v); }
+  static std::string to_cell(long long v) { return std::to_string(v); }
+  static std::string to_cell(std::size_t v) { return std::to_string(v); }
+  static std::string to_cell(double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3f", v);
+    return buf;
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<Row> rows_;
+};
+
+inline double fit(double measured, double predicted) {
+  return predicted > 0 ? measured / predicted : 0.0;
+}
+
+}  // namespace dcolor::bench

@@ -1,0 +1,48 @@
+// E15 (extension) — derandomized MIS via the paper's machinery, in the
+// spirit of [CPS17]: deterministic progress per iteration, rounds
+// ~ iterations * D * seed bits.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/coloring/derand_mis.h"
+#include "src/graph/generators.h"
+#include "src/graph/properties.h"
+
+namespace dcolor {
+namespace {
+
+void run() {
+  bench::Table t({"graph", "n", "Delta", "D", "iterations", "rounds", "mis_size"});
+  struct Case {
+    std::string name;
+    Graph g;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"cycle256", make_cycle(256)});
+  cases.push_back({"grid12x20", make_grid(12, 20)});
+  cases.push_back({"nearreg-d8", make_near_regular(256, 8, 3)});
+  cases.push_back({"nearreg-d16", make_near_regular(256, 16, 4)});
+  cases.push_back({"gnp256", make_gnp(256, 0.05, 5)});
+  cases.push_back({"prefattach", make_preferential_attachment(256, 2, 6)});
+
+  for (auto& [name, g] : cases) {
+    auto res = derandomized_mis(g);
+    int size = 0;
+    for (bool b : res.in_mis) size += b ? 1 : 0;
+    t.add(name, g.num_nodes(), g.max_degree(), diameter_double_sweep(g), res.iterations,
+          static_cast<long long>(res.metrics.rounds), size);
+  }
+  t.print("E15 (extension): derandomized MIS via conditional expectations");
+  std::printf(
+      "\nExpectation: iterations stay well under the O(Delta log n) Luby-A bound (the\n"
+      "derandomized choice usually clears large chunks per iteration); validity checked\n"
+      "in tests.\n");
+}
+
+}  // namespace
+}  // namespace dcolor
+
+int main() {
+  dcolor::run();
+  return 0;
+}

@@ -1,0 +1,63 @@
+// E12 — the Section-4 "How to Avoid MIS" ablation: the higher-accuracy
+// coins (epsilon smaller by a (Delta+1) factor) guarantee that at least
+// half the nodes end a cycle with at most ONE conflict, so an id
+// comparison replaces the MIS computation. Compares conflict histograms
+// and per-invocation progress of both variants.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/coloring/linial.h"
+#include "src/coloring/partial_coloring.h"
+#include "src/coloring/theorem11.h"
+#include "src/congest/bfs_tree.h"
+#include "src/graph/generators.h"
+
+namespace dcolor {
+namespace {
+
+void run() {
+  bench::Table t({"graph", "variant", "precision_b", "seed_bits", "colored", "fraction",
+                  "rounds"});
+  struct Case {
+    std::string name;
+    Graph g;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"gnp n=256 d~12", make_gnp(256, 12.0 / 256, 31)});
+  cases.push_back({"nearreg-d16", make_near_regular(256, 16, 8)});
+  cases.push_back({"grid12x20", make_grid(12, 20)});
+
+  for (auto& [name, g] : cases) {
+    for (bool avoid : {false, true}) {
+      auto inst = ListInstance::delta_plus_one(g);
+      congest::Network net(g);
+      InducedSubgraph active(g, std::vector<bool>(g.num_nodes(), true));
+      LinialResult lin = linial_coloring(net, active);
+      congest::BfsTree tree = congest::BfsTree::build(net, 0);
+      BfsChannel channel(tree);
+      std::vector<Color> colors(g.num_nodes(), kUncolored);
+      net.reset_metrics();
+      PartialColoringOptions opts;
+      opts.avoid_mis = avoid;
+      PartialColoringStats st = color_one_eighth(net, channel, active, inst, colors,
+                                                 lin.coloring, lin.num_colors, opts);
+      t.add(name, avoid ? "avoid-mis (sec 4)" : "mis (lemma 2.1)", st.precision_bits,
+            st.seed_bits, static_cast<long long>(st.newly_colored),
+            static_cast<double>(st.newly_colored) / g.num_nodes(),
+            static_cast<long long>(net.metrics().rounds));
+    }
+  }
+  t.print("E12: MIS vs avoid-MIS conflict resolution (one Lemma 2.1 invocation)");
+  std::printf(
+      "\nExpectation: avoid-mis uses ~log(Delta+1) more precision bits (longer seed, more\n"
+      "rounds per invocation) but skips the MIS and still colors >= 1/8; the MIS variant\n"
+      "needs fewer precision bits but pays Linial + color-class iteration at the end.\n");
+}
+
+}  // namespace
+}  // namespace dcolor
+
+int main() {
+  dcolor::run();
+  return 0;
+}

@@ -1,0 +1,50 @@
+// E8 — Theorem 1.5 (MPC, sublinear memory): rounds vs Delta and n under
+// S = Theta(n^alpha); memory compliance is certified by the simulator.
+// Also shows the Lemma 4.2 finisher engaging when Delta < n^{alpha/2}.
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/graph/generators.h"
+#include "src/mpc/mpc_coloring.h"
+
+namespace dcolor {
+namespace {
+
+void run() {
+  bench::Table t({"graph", "n", "Delta", "alpha", "machines", "S", "rounds", "cycles",
+                  "lemma42_passes"});
+  struct Case {
+    std::string name;
+    Graph g;
+    double alpha;
+  };
+  std::vector<Case> cases;
+  for (int d : {4, 8, 16}) {
+    cases.push_back({"nearreg-d" + std::to_string(d), make_near_regular(192, d, 9), 0.6});
+  }
+  cases.push_back({"nearreg-192-a0.8", make_near_regular(192, 4, 10), 0.8});
+  cases.push_back({"gnp128", make_gnp(128, 0.08, 4), 0.6});
+  for (int n : {64, 128, 256, 512}) {
+    cases.push_back({"cycle" + std::to_string(n), make_cycle(n), 0.5});
+  }
+
+  for (auto& [name, g, alpha] : cases) {
+    auto res = mpc::mpc_list_coloring_sublinear(g, ListInstance::delta_plus_one(g), alpha);
+    t.add(name, g.num_nodes(), g.max_degree(), alpha, res.num_machines,
+          static_cast<long long>(res.memory_words), static_cast<long long>(res.metrics.rounds),
+          res.commit_cycles, res.lemma42_passes);
+  }
+  t.print("E8: Theorem 1.5 (MPC sublinear memory)");
+  std::printf(
+      "\nExpectation: rounds grow ~polylog(Delta) + log n; lemma42_passes > 0 exactly on the\n"
+      "low-degree cases (Delta < n^{alpha/2}), reproducing the paper's case split.\n");
+}
+
+}  // namespace
+}  // namespace dcolor
+
+int main() {
+  dcolor::run();
+  return 0;
+}

@@ -1,0 +1,41 @@
+// E3 — Theorem 1.1 round complexity vs Delta at fixed n:
+// the per-iteration cost grows with logC * seedlength; with C = Delta+1
+// both factors are ~logDelta, so rounds should scale ~log^3 Delta for the
+// implementation (log^2 Delta for the paper's shorter seed).
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/coloring/theorem11.h"
+#include "src/graph/generators.h"
+#include "src/graph/properties.h"
+
+namespace dcolor {
+namespace {
+
+void run() {
+  bench::Table t({"Delta_req", "Delta", "n", "D", "rounds", "pred_impl", "ratio_impl"});
+  const int n = 256;
+  for (int d : {4, 8, 16, 32, 64}) {
+    auto g = make_near_regular(n, d, 11);
+    const int D = diameter_double_sweep(g);
+    auto res = theorem11_solve(g, ListInstance::delta_plus_one(g));
+    const double logn = std::log2(n);
+    const double logC = std::log2(std::max(2, g.max_degree() + 1));
+    const double logK = std::log2(std::max<std::int64_t>(2, res.input_colors));
+    const double b = std::log2(10 * g.max_degree() * std::max(1.0, logC));
+    const double pred = D * logn * logC * (b * (logK + 1));
+    t.add(d, g.max_degree(), n, D, static_cast<long long>(res.metrics.rounds), pred,
+          bench::fit(static_cast<double>(res.metrics.rounds), pred));
+  }
+  t.print("E3: Theorem 1.1 rounds vs Delta (n=256, near-regular)");
+  std::printf("\nExpectation: ratio_impl roughly flat across Delta.\n");
+}
+
+}  // namespace
+}  // namespace dcolor
+
+int main() {
+  dcolor::run();
+  return 0;
+}

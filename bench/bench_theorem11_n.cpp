@@ -1,0 +1,54 @@
+// E2 — Theorem 1.1 round complexity vs n at (nearly) fixed Delta and D:
+// measured rounds / (D * log n * logC * (logDelta*logK + loglogC)) should
+// be roughly flat. (Our bitwise coin family's seed is logK*b bits, see
+// DESIGN.md; the flat-ratio check below uses the implementation's own
+// predicted shape, and the paper's shorter-seed shape is printed too.)
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/coloring/theorem11.h"
+#include "src/graph/generators.h"
+#include "src/graph/properties.h"
+
+namespace dcolor {
+namespace {
+
+void run() {
+  bench::Table t({"n", "Delta", "D", "rounds", "iters", "pred_impl", "ratio_impl",
+                  "pred_paper", "ratio_paper"});
+  for (int n : {64, 128, 256, 512, 1024}) {
+    // Near-regular graphs: Delta fixed at ~8, D small (random graphs).
+    auto g = make_near_regular(n, 8, 42);
+    const int D = diameter_double_sweep(g);
+    auto inst = ListInstance::delta_plus_one(g);
+    auto res = theorem11_solve(g, std::move(inst));
+
+    const double logn = std::log2(n);
+    const double logd = std::log2(std::max(2, g.max_degree()));
+    const double logC = std::log2(std::max<std::int64_t>(2, g.max_degree() + 1));
+    const double logK = std::log2(std::max<std::int64_t>(2, res.input_colors));
+    const double b = std::log2(10 * g.max_degree() * std::max(1.0, logC));
+    // Implementation: seed length = b * (logK + 1) bits, each costing
+    // ~2 tree passes of depth <= D; logC phases; log n iterations.
+    const double pred_impl = D * logn * logC * (b * (logK + 1));
+    // Paper: seed length O(logK + logDelta + loglogC).
+    const double pred_paper = D * logn * logC * (logK + logd + std::log2(std::max(2.0, logC)));
+    t.add(n, g.max_degree(), D, static_cast<long long>(res.metrics.rounds), res.iterations,
+          pred_impl, bench::fit(static_cast<double>(res.metrics.rounds), pred_impl),
+          pred_paper, bench::fit(static_cast<double>(res.metrics.rounds), pred_paper));
+  }
+  t.print("E2: Theorem 1.1 rounds vs n (near-regular, Delta~8)");
+  std::printf(
+      "\nExpectation: ratio_impl roughly flat in n (the D*logn*logC*seed shape holds);\n"
+      "ratio_paper grows ~logDelta-fold slower-seed factor is constant here, so it is flat "
+      "too.\n");
+}
+
+}  // namespace
+}  // namespace dcolor
+
+int main() {
+  dcolor::run();
+  return 0;
+}

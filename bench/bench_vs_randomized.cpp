@@ -1,0 +1,56 @@
+// E11 — the derandomization's price: Theorem 1.1 vs the randomized
+// process it derandomizes (uniform trial coloring [Joh99]) and vs the
+// classic deterministic color-reduction baseline [KW06]. The randomized
+// algorithm wins on rounds (as the paper acknowledges — the point is
+// determinism); the KW baseline shows the pre-2020 deterministic cost.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/coloring/baselines.h"
+#include "src/coloring/mis_reduction.h"
+#include "src/coloring/theorem11.h"
+#include "src/graph/generators.h"
+#include "src/graph/properties.h"
+
+namespace dcolor {
+namespace {
+
+void run() {
+  bench::Table t({"graph", "n", "Delta", "D", "thm1.1_rounds", "randomized_rounds",
+                  "kw_reduction_rounds", "mis_reduction_rounds"});
+  struct Case {
+    std::string name;
+    Graph g;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"cycle256", make_cycle(256)});
+  cases.push_back({"grid12x20", make_grid(12, 20)});
+  cases.push_back({"nearreg-d8", make_near_regular(256, 8, 3)});
+  cases.push_back({"nearreg-d16", make_near_regular(256, 16, 4)});
+  cases.push_back({"gnp256", make_gnp(256, 0.04, 5)});
+
+  for (auto& [name, g] : cases) {
+    auto det = theorem11_solve(g, ListInstance::delta_plus_one(g));
+    auto rnd = randomized_list_coloring(g, ListInstance::delta_plus_one(g), 99);
+    auto kw = color_reduction_baseline(g);
+    auto mr = mis_reduction_coloring(g);
+    t.add(name, g.num_nodes(), g.max_degree(), diameter_double_sweep(g),
+          static_cast<long long>(det.metrics.rounds),
+          static_cast<long long>(rnd.metrics.rounds),
+          static_cast<long long>(kw.metrics.rounds),
+          static_cast<long long>(mr.metrics.rounds));
+  }
+  t.print("E11: deterministic (Thm 1.1) vs randomized [Joh99] vs KW color reduction");
+  std::printf(
+      "\nExpectation: randomized stays O(log n) rounds; Theorem 1.1 pays the derandomization\n"
+      "factor (D * seed length per bit) but is fully deterministic; the KW baseline's cost\n"
+      "scales with Delta^2 (its palette), illustrating why the paper's approach matters.\n");
+}
+
+}  // namespace
+}  // namespace dcolor
+
+int main() {
+  dcolor::run();
+  return 0;
+}

@@ -1,0 +1,55 @@
+// One instance, four models: CONGEST (Theorem 1.1), CONGESTED CLIQUE
+// (Theorem 1.3), MPC linear memory (Theorem 1.4) and MPC sublinear memory
+// (Theorem 1.5) — all deterministic, all validated against the same
+// pristine instance, with each model's honest cost metrics side by side.
+//
+//   ./model_comparison [n] [degree]
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/clique/clique_coloring.h"
+#include "src/coloring/theorem11.h"
+#include "src/graph/generators.h"
+#include "src/graph/properties.h"
+#include "src/mpc/mpc_coloring.h"
+
+int main(int argc, char** argv) {
+  using namespace dcolor;
+  const NodeId n = argc > 1 ? std::atoi(argv[1]) : 128;
+  const int degree = argc > 2 ? std::atoi(argv[2]) : 10;
+
+  Graph g = make_near_regular(n, degree, 5);
+  ListInstance inst = ListInstance::random_lists(g, 4 * (g.max_degree() + 1), 77);
+  std::printf("instance: n=%d, m=%lld, Delta=%d, D=%d, C=%lld\n", g.num_nodes(),
+              static_cast<long long>(g.num_edges()), g.max_degree(),
+              diameter_double_sweep(g), static_cast<long long>(inst.color_space()));
+
+  auto congest_res = theorem11_solve_per_component(g, inst);
+  std::printf("\nCONGEST (Theorem 1.1):       rounds=%-8lld valid=%s\n",
+              static_cast<long long>(congest_res.metrics.rounds),
+              inst.valid_solution(congest_res.colors) ? "yes" : "NO");
+
+  auto clique_res = clique::clique_list_coloring(g, inst);
+  std::printf("CONGESTED CLIQUE (Thm 1.3):  rounds=%-8lld valid=%s (final ship: %d nodes)\n",
+              static_cast<long long>(clique_res.metrics.rounds),
+              inst.valid_solution(clique_res.colors) ? "yes" : "NO",
+              clique_res.final_subgraph_size);
+
+  auto mpc_lin = mpc::mpc_list_coloring_linear(g, inst);
+  std::printf("MPC linear (Thm 1.4):        rounds=%-8lld valid=%s (machines=%d, S=%lld)\n",
+              static_cast<long long>(mpc_lin.metrics.rounds),
+              inst.valid_solution(mpc_lin.colors) ? "yes" : "NO", mpc_lin.num_machines,
+              static_cast<long long>(mpc_lin.memory_words));
+
+  auto mpc_sub = mpc::mpc_list_coloring_sublinear(g, inst, 0.6);
+  std::printf("MPC sublinear (Thm 1.5):     rounds=%-8lld valid=%s (machines=%d, S=%lld)\n",
+              static_cast<long long>(mpc_sub.metrics.rounds),
+              inst.valid_solution(mpc_sub.colors) ? "yes" : "NO", mpc_sub.num_machines,
+              static_cast<long long>(mpc_sub.memory_words));
+
+  std::printf(
+      "\nReading guide: the clique and MPC runs avoid CONGEST's D factor and compress the\n"
+      "seed fixing into segment batches; the MPC rows additionally certify that no machine\n"
+      "ever exceeded its S-word memory (the simulator throws otherwise).\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Produce Graphviz DOT files for a coloring and an MIS of the same graph
+// (render with `dot -Tpng coloring.dot -o coloring.png`).
+//
+//   ./visualize_coloring [n] [out_prefix]
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "src/coloring/derand_mis.h"
+#include "src/coloring/theorem11.h"
+#include "src/graph/generators.h"
+#include "src/graph/io.h"
+
+int main(int argc, char** argv) {
+  using namespace dcolor;
+  const NodeId n = argc > 1 ? std::atoi(argv[1]) : 40;
+  const std::string prefix = argc > 2 ? argv[2] : "dcolor";
+
+  Graph g = make_gnp(n, 3.5 / n, 11);
+
+  auto coloring = theorem11_solve_per_component(g, ListInstance::delta_plus_one(g));
+  {
+    std::ofstream out(prefix + "_coloring.dot");
+    write_dot(out, g, &coloring.colors);
+  }
+  std::printf("wrote %s_coloring.dot  (deterministic (Delta+1)-coloring, %lld rounds)\n",
+              prefix.c_str(), static_cast<long long>(coloring.metrics.rounds));
+
+  auto mis = derandomized_mis(g);
+  std::vector<std::int64_t> mis_as_colors(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) mis_as_colors[v] = mis.in_mis[v] ? 1 : 0;
+  {
+    std::ofstream out(prefix + "_mis.dot");
+    write_dot(out, g, &mis_as_colors);
+  }
+  std::printf("wrote %s_mis.dot       (derandomized MIS, %d iterations, %lld rounds)\n",
+              prefix.c_str(), mis.iterations, static_cast<long long>(mis.metrics.rounds));
+
+  {
+    std::ofstream out(prefix + "_graph.txt");
+    write_edge_list(out, g);
+  }
+  std::printf("wrote %s_graph.txt     (edge list, reloadable via read_edge_list)\n",
+              prefix.c_str());
+  return 0;
+}

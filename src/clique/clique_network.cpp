@@ -1,0 +1,69 @@
+#include "src/clique/clique_network.h"
+
+#include <algorithm>
+
+#include "src/util/bits.h"
+
+namespace dcolor::clique {
+
+CliqueNetwork::CliqueNetwork(NodeId n, int bandwidth_bits) : n_(n) {
+  const int logn = ceil_log2(std::max<std::uint64_t>(static_cast<std::uint64_t>(n), 2));
+  bandwidth_ = bandwidth_bits > 0 ? bandwidth_bits : 2 * logn + 16;
+  staged_.resize(n);
+  inbox_.resize(n);
+  sent_stamp_.assign(static_cast<std::size_t>(n) * n, -1);
+}
+
+void CliqueNetwork::send(NodeId u, NodeId v, std::uint64_t payload, int bits) {
+  if (u == v || u < 0 || v < 0 || u >= n_ || v >= n_) {
+    throw CliqueViolation("bad endpoints");
+  }
+  if (bits > bandwidth_) {
+    throw CliqueViolation("message exceeds bandwidth");
+  }
+  if (bits < bit_width_of(payload)) {
+    throw CliqueViolation("declared size cannot hold payload");
+  }
+  const std::size_t slot = static_cast<std::size_t>(u) * n_ + v;
+  if (sent_stamp_[slot] == metrics_.rounds) {
+    throw CliqueViolation("two messages on one ordered pair in one round");
+  }
+  sent_stamp_[slot] = metrics_.rounds;
+  staged_[v].push_back(Incoming{u, payload});
+  ++metrics_.messages;
+  metrics_.total_bits += bits;
+  metrics_.max_message_bits = std::max(metrics_.max_message_bits, bits);
+}
+
+void CliqueNetwork::advance_round() {
+  for (NodeId v = 0; v < n_; ++v) {
+    inbox_[v].swap(staged_[v]);
+    staged_[v].clear();
+  }
+  ++metrics_.rounds;
+}
+
+void CliqueNetwork::route(const std::vector<RoutedMessage>& messages) {
+  std::vector<std::int64_t> out(n_, 0), in(n_, 0);
+  for (const RoutedMessage& m : messages) {
+    if (m.bits > bandwidth_) throw CliqueViolation("routed message exceeds bandwidth");
+    if (m.bits < bit_width_of(m.payload)) {
+      throw CliqueViolation("routed message declared size cannot hold payload");
+    }
+    ++out[m.from];
+    ++in[m.to];
+  }
+  std::int64_t max_load = 1;
+  for (NodeId v = 0; v < n_; ++v) max_load = std::max({max_load, out[v], in[v]});
+  const std::int64_t batches = (max_load + n_ - 1) / n_;
+  for (NodeId v = 0; v < n_; ++v) inbox_[v].clear();
+  for (const RoutedMessage& m : messages) {
+    inbox_[m.to].push_back(Incoming{m.from, m.payload});
+    ++metrics_.messages;
+    metrics_.total_bits += m.bits;
+    metrics_.max_message_bits = std::max(metrics_.max_message_bits, m.bits);
+  }
+  metrics_.rounds += batches * kLenzenRounds;
+}
+
+}  // namespace dcolor::clique

@@ -1,0 +1,78 @@
+// UNICAST CONGESTED CLIQUE simulator [LPPP03].
+//
+// n nodes, complete communication graph: in each round every ordered pair
+// (u,v) may carry one message of O(log n) bits, and u may send a DIFFERENT
+// message to every other node. The input graph is separate from the
+// communication topology.
+//
+// Lenzen's routing theorem [Len13] is provided as a primitive: any routing
+// instance in which every node is source of at most n messages and target
+// of at most n messages can be delivered in O(1) rounds. route() validates
+// both budgets and charges kLenzenRounds.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "src/congest/metrics.h"
+#include "src/graph/graph.h"
+
+namespace dcolor::clique {
+
+class CliqueViolation : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct Incoming {
+  NodeId from;
+  std::uint64_t payload;
+};
+
+// Round cost charged for one Lenzen routing invocation ([Len13]: 16
+// rounds worst case; the constant is irrelevant for the experiments, we
+// use 2 as in the common statement "O(1)").
+inline constexpr int kLenzenRounds = 2;
+
+class CliqueNetwork {
+ public:
+  explicit CliqueNetwork(NodeId n, int bandwidth_bits = 0);
+
+  NodeId num_nodes() const { return n_; }
+  int bandwidth_bits() const { return bandwidth_; }
+
+  // Stage one direct message for this round.
+  void send(NodeId u, NodeId v, std::uint64_t payload, int bits);
+  void advance_round();
+  std::span<const Incoming> inbox(NodeId v) const {
+    return {inbox_[v].data(), inbox_[v].size()};
+  }
+
+  // Lenzen routing: delivers all messages at once. An instance where every
+  // node sends <= n and receives <= n messages costs kLenzenRounds; larger
+  // instances are split into ceil(max_load/n) batches and charged
+  // proportionally. Messages appear in the recipients' inboxes.
+  struct RoutedMessage {
+    NodeId from;
+    NodeId to;
+    std::uint64_t payload;
+    int bits;
+  };
+  void route(const std::vector<RoutedMessage>& messages);
+
+  void tick(std::int64_t rounds) { metrics_.rounds += rounds; }
+
+  const congest::Metrics& metrics() const { return metrics_; }
+
+ private:
+  NodeId n_;
+  int bandwidth_;
+  std::vector<std::vector<Incoming>> staged_;
+  std::vector<std::vector<Incoming>> inbox_;
+  std::vector<std::int64_t> sent_stamp_;  // (u,v) duplicate detection
+  congest::Metrics metrics_;
+};
+
+}  // namespace dcolor::clique

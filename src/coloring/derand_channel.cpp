@@ -1,0 +1,26 @@
+#include "src/coloring/derand_channel.h"
+
+namespace dcolor {
+
+std::pair<long double, long double> BfsChannel::aggregate_pair(
+    congest::Network& net, const std::vector<long double>& values0,
+    const std::vector<long double>& values1) {
+  // One convergecast wave carries both sums; the second 64-bit word rides
+  // the pipelined chunk accounted inside BfsTree::aggregate (128-bit
+  // payload => ceil(128/B) chunks).
+  const long double s0 =
+      congest::from_fixed(congest::aggregate_fixed_sum(net, *tree_, values0));
+  // The second aggregation shares the wave: charge only the extra
+  // pipelining (1 round), not a full tree pass. We emulate this by
+  // summing in-memory and ticking one round.
+  long double s1 = 0.0L;
+  for (long double v : values1) s1 += v;
+  net.tick(1);
+  return {s0, s1};
+}
+
+void BfsChannel::broadcast_bit(congest::Network& net, int bit) {
+  tree_->broadcast(net, static_cast<std::uint64_t>(bit), 1);
+}
+
+}  // namespace dcolor

@@ -1,0 +1,47 @@
+// Aggregation/broadcast channel used by the seed-fixing loop (Lemma 2.6).
+//
+// Fixing one seed bit needs (a) a global sum of two per-node conditional
+// expectations and (b) a one-bit broadcast of the chosen value. Theorem
+// 1.1 runs this over a BFS tree of the whole communication graph (O(D)
+// rounds per bit); Corollary 1.2 runs it over the associated tree of a
+// network-decomposition cluster (O(log^3 n) rounds per bit, with the
+// decomposition's congestion factor charged by the caller).
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "src/congest/bfs_tree.h"
+#include "src/congest/network.h"
+
+namespace dcolor {
+
+class DerandChannel {
+ public:
+  virtual ~DerandChannel() = default;
+
+  // Sums values0 and values1 over all participating nodes, moving both in
+  // one convergecast wave (two Q32.32 words -> 128 bits, pipelined).
+  virtual std::pair<long double, long double> aggregate_pair(
+      congest::Network& net, const std::vector<long double>& values0,
+      const std::vector<long double>& values1) = 0;
+
+  virtual void broadcast_bit(congest::Network& net, int bit) = 0;
+};
+
+// Channel over a BFS tree of the (connected) communication graph.
+class BfsChannel final : public DerandChannel {
+ public:
+  explicit BfsChannel(const congest::BfsTree& tree) : tree_(&tree) {}
+
+  std::pair<long double, long double> aggregate_pair(
+      congest::Network& net, const std::vector<long double>& values0,
+      const std::vector<long double>& values1) override;
+
+  void broadcast_bit(congest::Network& net, int bit) override;
+
+ private:
+  const congest::BfsTree* tree_;
+};
+
+}  // namespace dcolor

@@ -1,0 +1,131 @@
+#include "src/coloring/linial.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+#include "src/util/bits.h"
+#include "src/util/prime.h"
+
+namespace dcolor {
+namespace {
+
+// Smallest prime q such that colors in [k] written base q (d+1 = number of
+// digits) satisfy q > max_degree * d. Such q exists and is O(Delta log k).
+std::int64_t choose_field(std::int64_t k, int max_degree, int* degree_out) {
+  for (std::int64_t q = std::max<std::int64_t>(2, max_degree + 1);; q = next_prime(q + 1)) {
+    if (!is_prime(q)) {
+      q = static_cast<std::int64_t>(next_prime(static_cast<std::uint64_t>(q)));
+    }
+    // digits needed for values < k in base q
+    int digits = 1;
+    for (std::int64_t span = q; span < k; span *= q) ++digits;
+    const int d = digits - 1;  // polynomial degree bound
+    if (q > static_cast<std::int64_t>(max_degree) * std::max(d, 1)) {
+      *degree_out = d;
+      return q;
+    }
+  }
+}
+
+std::int64_t eval_poly(std::int64_t x, std::int64_t alpha, std::int64_t q, int degree) {
+  // Coefficients = base-q digits of x; Horner from the top digit.
+  std::int64_t coeff[64];
+  for (int i = 0; i <= degree; ++i) {
+    coeff[i] = x % q;
+    x /= q;
+  }
+  std::int64_t acc = 0;
+  for (int i = degree; i >= 0; --i) acc = (acc * alpha + coeff[i]) % q;
+  return acc;
+}
+
+}  // namespace
+
+std::int64_t linial_next_palette(std::int64_t k_in, int max_degree) {
+  int degree = 0;
+  const std::int64_t q = choose_field(k_in, std::max(max_degree, 1), &degree);
+  return q * q;
+}
+
+std::int64_t linial_step(congest::Network& net, const InducedSubgraph& active,
+                         std::vector<std::int64_t>& coloring, std::int64_t k_in,
+                         int active_max_degree) {
+  const Graph& g = net.graph();
+  int degree = 0;
+  const std::int64_t q = choose_field(k_in, std::max(active_max_degree, 1), &degree);
+
+  // Exchange current colors with neighbors (one round; log k_in bits).
+  const int color_bits = bit_width_of(static_cast<std::uint64_t>(std::max<std::int64_t>(k_in - 1, 1)));
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (!active.contains(v)) continue;
+    active.for_each_neighbor(v, [&](NodeId u) {
+      net.send(v, u, static_cast<std::uint64_t>(coloring[v]), color_bits);
+    });
+  }
+  net.advance_round();
+
+  std::vector<std::int64_t> next(coloring.size(), 0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (!active.contains(v)) continue;
+    // Collect neighbor colors (restricted to active neighbors).
+    std::vector<std::int64_t> nb_colors;
+    for (const congest::Incoming& m : net.inbox(v)) {
+      nb_colors.push_back(static_cast<std::int64_t>(m.payload));
+    }
+    // Find alpha such that (alpha, f_v(alpha)) differs from every
+    // neighbor's full polynomial graph: for each neighbor u with a
+    // different polynomial, f_u agrees with f_v on <= degree points, and
+    // there are <= Delta * degree bad points < q in total.
+    std::int64_t chosen_alpha = -1;
+    for (std::int64_t alpha = 0; alpha < q; ++alpha) {
+      bool ok = true;
+      const std::int64_t mine = eval_poly(coloring[v], alpha, q, degree);
+      for (std::int64_t cu : nb_colors) {
+        if (cu == coloring[v]) continue;  // proper input coloring forbids this
+        if (eval_poly(cu, alpha, q, degree) == mine) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) {
+        chosen_alpha = alpha;
+        break;
+      }
+    }
+    assert(chosen_alpha >= 0 && "q > Delta*degree guarantees a free point");
+    next[v] = chosen_alpha * q + eval_poly(coloring[v], chosen_alpha, q, degree);
+  }
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (active.contains(v)) coloring[v] = next[v];
+  }
+  return q * q;
+}
+
+LinialResult linial_coloring(congest::Network& net, const InducedSubgraph& active,
+                             const std::vector<std::int64_t>* initial,
+                             std::int64_t initial_colors) {
+  const Graph& g = net.graph();
+  LinialResult res;
+  if (initial != nullptr) {
+    res.coloring = *initial;
+    res.num_colors = initial_colors;
+  } else {
+    res.coloring.resize(g.num_nodes());
+    std::iota(res.coloring.begin(), res.coloring.end(), 0);
+    res.num_colors = g.num_nodes();
+  }
+  int delta = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (active.contains(v)) delta = std::max(delta, active.degree(v));
+  }
+  // Run steps only while they shrink the palette (checking BEFORE the
+  // step: a non-shrinking step would rewrite colors into a larger space).
+  while (linial_next_palette(res.num_colors, delta) < res.num_colors) {
+    res.num_colors = linial_step(net, active, res.coloring, res.num_colors, delta);
+    ++res.iterations;
+  }
+  return res;
+}
+
+}  // namespace dcolor

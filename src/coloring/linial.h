@@ -1,0 +1,48 @@
+// Linial's deterministic color reduction [Lin92] in CONGEST.
+//
+// Given a proper K-coloring (e.g. unique ids, K = n), each iteration maps
+// colors to pairs (alpha, f_x(alpha)) where f_x is the polynomial over
+// F_q whose coefficient vector is the base-q representation of the current
+// color x. Distinct colors are distinct polynomials of degree <= d, so two
+// of them collide on at most d evaluation points; with q > Delta*d every
+// node finds an evaluation point avoiding all its neighbors' polynomial
+// graphs, making the pair coloring proper with q^2 colors. Iterating
+// reaches O(Delta^2 log^2 Delta) colors in O(log* K) rounds — the input
+// coloring Lemma 2.1 needs (only log K enters the runtime, so the extra
+// log^2 Delta factor over Linial's O(Delta^2) is immaterial).
+//
+// Works on the subgraph induced by `active` (degrees/conflicts restricted
+// to it) while communicating over the full network.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/congest/network.h"
+#include "src/graph/graph.h"
+
+namespace dcolor {
+
+struct LinialResult {
+  std::vector<std::int64_t> coloring;  // proper on the active subgraph
+  std::int64_t num_colors = 0;         // colors are in [0, num_colors)
+  int iterations = 0;
+};
+
+// Palette size q^2 one Linial step would produce from a k_in-coloring on a
+// subgraph of the given max degree (without running it).
+std::int64_t linial_next_palette(std::int64_t k_in, int max_degree);
+
+// One Linial reduction step: proper `k_in`-coloring -> proper q^2-coloring.
+// Exposed separately for tests. Returns the new number of colors.
+std::int64_t linial_step(congest::Network& net, const InducedSubgraph& active,
+                         std::vector<std::int64_t>& coloring, std::int64_t k_in,
+                         int active_max_degree);
+
+// Full reduction from the given coloring (default: ids) until the number
+// of colors stops shrinking.
+LinialResult linial_coloring(congest::Network& net, const InducedSubgraph& active,
+                             const std::vector<std::int64_t>* initial = nullptr,
+                             std::int64_t initial_colors = 0);
+
+}  // namespace dcolor

@@ -1,0 +1,26 @@
+// Maximal independent set on a (low-degree) subgraph by iterating through
+// the color classes of a proper coloring — the classic reduction used at
+// the end of Lemma 2.1. Cost: one round per color class (plus nothing
+// else), so it is only invoked after Linial has shrunk the palette to
+// O(Delta_sub^2) colors.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/congest/network.h"
+#include "src/graph/graph.h"
+
+namespace dcolor {
+
+// `active` defines the subgraph; `coloring` must be proper on it with
+// colors in [num_colors]. Returns the MIS membership indicator.
+std::vector<bool> mis_by_color_classes(congest::Network& net, const InducedSubgraph& active,
+                                       const std::vector<std::int64_t>& coloring,
+                                       std::int64_t num_colors);
+
+// Validation helper: true iff `in_mis` is independent and maximal on the
+// active subgraph.
+bool is_mis(const InducedSubgraph& active, const std::vector<bool>& in_mis);
+
+}  // namespace dcolor

@@ -1,0 +1,62 @@
+#include "src/coloring/mis_reduction.h"
+
+#include <cassert>
+#include <numeric>
+
+#include "src/coloring/derand_mis.h"
+
+namespace dcolor {
+
+MisReductionResult mis_reduction_coloring(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  MisReductionResult res;
+  res.colors.assign(n, kUncolored);
+  if (n == 0) return res;
+
+  // Product node ids: offsets[v] + c for c in [deg(v)+1].
+  std::vector<NodeId> offset(n + 1, 0);
+  for (NodeId v = 0; v < n; ++v) offset[v + 1] = offset[v] + g.degree(v) + 1;
+  const NodeId hn = offset[n];
+  res.product_nodes = hn;
+
+  std::vector<std::pair<NodeId, NodeId>> hedges;
+  for (NodeId v = 0; v < n; ++v) {
+    const int kv = g.degree(v) + 1;
+    // Palette clique: at most one color per node survives in an IS.
+    for (int c1 = 0; c1 < kv; ++c1) {
+      for (int c2 = c1 + 1; c2 < kv; ++c2) {
+        hedges.emplace_back(offset[v] + c1, offset[v] + c2);
+      }
+    }
+    // Conflict edges: same color on adjacent nodes is independent-set
+    // forbidden. Only colors both endpoints can take.
+    for (NodeId u : g.neighbors(v)) {
+      if (u < v) continue;
+      const int shared = std::min(kv, g.degree(u) + 1);
+      for (int c = 0; c < shared; ++c) {
+        hedges.emplace_back(offset[v] + c, offset[u] + c);
+      }
+    }
+  }
+  Graph h = Graph::from_edges(hn, std::move(hedges));
+
+  DerandMisResult mis = derandomized_mis(h);
+  res.metrics = mis.metrics;
+
+  for (NodeId v = 0; v < n; ++v) {
+    for (int c = 0; c <= g.degree(v); ++c) {
+      if (mis.in_mis[offset[v] + c]) {
+        assert(res.colors[v] == kUncolored && "palette clique admits one pick");
+        res.colors[v] = c;
+      }
+    }
+    // Maximality forces a pick: if no (v,c) is in the MIS, then every c
+    // is blocked by a same-colored MIS neighbor — impossible, since v has
+    // deg(v) neighbors and deg(v)+1 colors (pigeonhole), and each MIS
+    // neighbor blocks exactly one of v's copies.
+    assert(res.colors[v] != kUncolored);
+  }
+  return res;
+}
+
+}  // namespace dcolor

@@ -1,0 +1,31 @@
+// The classic reduction from (Delta+1)-coloring to MIS [Lub86, Lin92],
+// cited in the paper's related-work discussion (Section 1.3): build the
+// product graph H with a node (v, c) for every node v and candidate color
+// c in [deg(v)+1], connect (v,c)-(u,c) for every edge {u,v} of G and make
+// {(v,c)}_c a clique; any MIS of H picks exactly one color per node and
+// that selection is a proper coloring. Each node of G simulates its
+// deg(v)+1 copies, so a CONGEST round on H costs O(1) rounds on G.
+//
+// Combined with the derandomized MIS this yields another fully
+// deterministic (Delta+1)-coloring — far slower than Theorem 1.1, but a
+// faithful implementation of the baseline the paper positions itself
+// against.
+#pragma once
+
+#include <vector>
+
+#include "src/coloring/list_instance.h"
+#include "src/congest/metrics.h"
+#include "src/graph/graph.h"
+
+namespace dcolor {
+
+struct MisReductionResult {
+  std::vector<Color> colors;      // proper, in [0, deg(v)+1) per node
+  congest::Metrics metrics;       // rounds on H (same order as on G)
+  NodeId product_nodes = 0;       // |V(H)|
+};
+
+MisReductionResult mis_reduction_coloring(const Graph& g);
+
+}  // namespace dcolor

@@ -1,0 +1,364 @@
+#include "src/coloring/pair_prob.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "src/util/bits.h"
+
+namespace dcolor {
+
+// ---------------------------------------------------------------------------
+// Generic engine: defers to CoinFamily, recomputing per query.
+// ---------------------------------------------------------------------------
+namespace {
+
+class GenericPairProb final : public PairProbEngine {
+ public:
+  explicit GenericPairProb(const CoinFamily& family) : family_(&family) {}
+
+  void begin_phase(const std::vector<CoinSpec>& specs,
+                   const std::vector<ConflictEdge>& edges) override {
+    specs_ = specs;
+    edges_ = edges;
+    fixed_.clear();
+  }
+
+  int num_seed_bits() const override { return family_->seed_length(); }
+
+  JointDist edge_joint(int e, int cand) override {
+    fixed_.push_back(static_cast<std::uint8_t>(cand));
+    const JointDist d =
+        family_->pair_dist(specs_[edges_[e].u], specs_[edges_[e].v], fixed_);
+    fixed_.pop_back();
+    return d;
+  }
+
+  void fix_next_bit(int bit) override { fixed_.push_back(static_cast<std::uint8_t>(bit)); }
+
+  int coin(NodeId v) const override {
+    assert(static_cast<int>(fixed_.size()) == family_->seed_length());
+    return family_->coin(specs_[v], fixed_);
+  }
+
+ private:
+  const CoinFamily* family_;
+  std::vector<CoinSpec> specs_;
+  std::vector<ConflictEdge> edges_;
+  std::vector<std::uint8_t> fixed_;
+};
+
+// ---------------------------------------------------------------------------
+// Fast engine for the bitwise family.
+// ---------------------------------------------------------------------------
+//
+// Seed layout: chunk t (t = 0..b-1, the MSB-first output digit) owns bits
+// [t*(w+1), (t+1)*(w+1)); within a chunk, bits 0..w-1 are a_t (a_t[i]
+// pairs with color bit i) and bit w is c_t. Digit t of color x is
+// <a_t, bits(x)> ^ c_t.
+//
+// Invariant maintained across fix_next_bit calls: all digits < cur_chunk_
+// are constants folded into per-node and per-edge DP states; digit
+// cur_chunk_ is partially substituted; digits > cur_chunk_ are fully free
+// and therefore (for any two distinct colors) independent uniform.
+class FastBitwisePairProb final : public PairProbEngine {
+ public:
+  FastBitwisePairProb(std::uint64_t num_input_colors, int b)
+      : w_(ceil_log2(std::max<std::uint64_t>(num_input_colors, 2))), b_(b) {}
+
+  void begin_phase(const std::vector<CoinSpec>& specs,
+                   const std::vector<ConflictEdge>& edges) override {
+    specs_ = specs;
+    edges_ = edges;
+    cur_chunk_ = 0;
+    cur_offset_ = 0;
+    node_state_.assign(specs.size(), NodeState{});
+    for (std::size_t v = 0; v < specs.size(); ++v) {
+      node_state_[v].known = 0;
+      node_state_[v].tight = 1.0L;
+      node_state_[v].less = 0.0L;
+      node_state_[v].value = 0;
+    }
+    edge_state_.assign(edges.size(), EdgeState{});
+  }
+
+  int num_seed_bits() const override { return b_ * (w_ + 1); }
+
+  JointDist edge_joint(int e, int cand) override {
+    const NodeId u = edges_[e].u;
+    const NodeId v = edges_[e].v;
+    const CoinSpec& su = specs_[u];
+    const CoinSpec& sv = specs_[v];
+    const std::uint64_t full = std::uint64_t{1} << b_;
+    const bool fu = su.threshold == 0 || su.threshold >= full;
+    const bool fv = sv.threshold == 0 || sv.threshold >= full;
+
+    long double pu;
+    long double pv;
+    long double p11;
+    if (fu || fv) {
+      pu = fu ? (su.threshold ? 1.0L : 0.0L) : marg_prob(u, cand);
+      pv = fv ? (sv.threshold ? 1.0L : 0.0L) : marg_prob(v, cand);
+      p11 = pu * pv;
+    } else {
+      pu = marg_prob(u, cand);
+      pv = marg_prob(v, cand);
+      p11 = joint_prob(e, cand);
+    }
+    JointDist d;
+    d[1][1] = p11;
+    d[1][0] = pu - p11;
+    d[0][1] = pv - p11;
+    d[0][0] = 1.0L - pu - pv + p11;
+    return d;
+  }
+
+  void fix_next_bit(int bit) override {
+    if (cur_offset_ < w_) {
+      // Fixing a_t[cur_offset_]: folds into `known` of nodes whose color
+      // has that bit set.
+      if (bit) {
+        for (std::size_t v = 0; v < specs_.size(); ++v) {
+          if (specs_[v].input_color >> cur_offset_ & 1) node_state_[v].known ^= 1;
+        }
+      }
+      ++cur_offset_;
+      return;
+    }
+    // Fixing c_t: the digit becomes the constant known ^ bit for every
+    // node. Advance all DP states one digit.
+    const int t = cur_chunk_;
+    const std::uint64_t full = std::uint64_t{1} << b_;
+    for (std::size_t v = 0; v < specs_.size(); ++v) {
+      NodeState& ns = node_state_[v];
+      const int digit = ns.known ^ bit;
+      ns.value = (ns.value << 1) | static_cast<std::uint64_t>(digit);
+      const CoinSpec& s = specs_[v];
+      if (s.threshold != 0 && s.threshold < full) {
+        const int tau_t = static_cast<int>(s.threshold >> (b_ - 1 - t) & 1);
+        if (digit < tau_t) {
+          ns.less += ns.tight;
+          ns.tight = 0.0L;
+        } else if (digit > tau_t) {
+          ns.tight = 0.0L;
+        }
+        // digit == tau_t: stays tight.
+      }
+      ns.known = 0;
+    }
+    for (std::size_t e = 0; e < edges_.size(); ++e) {
+      EdgeState& es = edge_state_[e];
+      const NodeId u = edges_[e].u;
+      const NodeId v = edges_[e].v;
+      const int du = static_cast<int>(node_state_[u].value & 1);
+      const int dv = static_cast<int>(node_state_[v].value & 1);
+      advance_edge(es, specs_[u], specs_[v], t, du, dv);
+    }
+    cur_offset_ = 0;
+    ++cur_chunk_;
+  }
+
+  int coin(NodeId v) const override {
+    assert(cur_chunk_ == b_);
+    const CoinSpec& s = specs_[v];
+    const std::uint64_t full = std::uint64_t{1} << b_;
+    if (s.threshold == 0) return 0;
+    if (s.threshold >= full) return 1;
+    return node_state_[v].value < s.threshold ? 1 : 0;
+  }
+
+ private:
+  struct NodeState {
+    int known = 0;            // folded-in part of the current chunk's digit
+    std::uint64_t value = 0;  // digits of completed chunks
+    long double tight = 1.0L;
+    long double less = 0.0L;
+  };
+  // Joint DP over completed digits: A = both tight, B = u tight & v less,
+  // C = u less & v tight, D = both less.
+  struct EdgeState {
+    long double A = 1.0L, B = 0.0L, C = 0.0L, D = 0.0L;
+  };
+
+  void advance_edge(EdgeState& es, const CoinSpec& su, const CoinSpec& sv, int t, int du,
+                    int dv) const {
+    const std::uint64_t full = std::uint64_t{1} << b_;
+    if (su.threshold == 0 || su.threshold >= full || sv.threshold == 0 ||
+        sv.threshold >= full) {
+      return;  // forced coins never consult the edge DP
+    }
+    const int tu = static_cast<int>(su.threshold >> (b_ - 1 - t) & 1);
+    const int tv = static_cast<int>(sv.threshold >> (b_ - 1 - t) & 1);
+    // Point-mass transition at (du, dv).
+    const int u_out = du < tu ? -1 : (du == tu ? 0 : 1);  // -1 less, 0 tight, 1 greater
+    const int v_out = dv < tv ? -1 : (dv == tv ? 0 : 1);
+    long double nA = 0, nB = 0, nC = 0, nD = es.D;
+    if (u_out == 0 && v_out == 0) nA = es.A;
+    if (u_out == 0 && v_out == -1) nB += es.A;
+    if (u_out == -1 && v_out == 0) nC += es.A;
+    if (u_out == -1 && v_out == -1) nD += es.A;
+    if (u_out == 0) nB += es.B;
+    if (u_out == -1) nD += es.B;
+    if (v_out == 0) nC += es.C;
+    if (v_out == -1) nD += es.C;
+    es.A = nA;
+    es.B = nB;
+    es.C = nC;
+    es.D = nD;
+  }
+
+  // Distribution of the current chunk's digit for node v, given that bit
+  // `cand` is tentatively assigned to the next seed bit. Returns
+  // (p_digit_is_1, determined) — when the chunk is incomplete the digit is
+  // uniform unless all remaining variables vanish (impossible before c_t
+  // is fixed, since c_t is last), except when the tentative bit IS c_t.
+  struct DigitDist {
+    long double p1;
+    bool determined;
+    int value;  // meaningful when determined
+  };
+  DigitDist digit_dist(NodeId v, int cand) const {
+    const NodeState& ns = node_state_[v];
+    if (cur_offset_ == w_) {
+      // Tentative bit is c_t: digit = known ^ cand, a constant.
+      return DigitDist{0.0L, true, ns.known ^ cand};
+    }
+    // c_t still free: digit is a fresh uniform bit regardless of cand.
+    (void)cand;
+    return DigitDist{0.5L, false, 0};
+  }
+
+  // Pr[value_v < tau_v | fixed prefix + cand].
+  long double marg_prob(NodeId v, int cand) const {
+    const CoinSpec& s = specs_[v];
+    const NodeState& ns = node_state_[v];
+    const int t = cur_chunk_;
+    if (t == b_) {
+      // All digits fixed (can happen when edge_joint is queried after the
+      // final fix; only coin() should be used then, but be safe).
+      return ns.value < s.threshold ? 1.0L : 0.0L;
+    }
+    const int tau_t = static_cast<int>(s.threshold >> (b_ - 1 - t) & 1);
+    const int r = b_ - t - 1;  // digits after t
+    const std::uint64_t tau_low = s.threshold & ((r == 0) ? 0 : ((std::uint64_t{1} << r) - 1));
+    const long double tail_tight = ldexpl(static_cast<long double>(tau_low), -r);
+    const DigitDist dd = digit_dist(v, cand);
+    long double cur;  // Pr[suffix from digit t < tau suffix from digit t]
+    if (dd.determined) {
+      if (dd.value < tau_t) {
+        cur = 1.0L;
+      } else if (dd.value > tau_t) {
+        cur = 0.0L;
+      } else {
+        cur = tail_tight;
+      }
+    } else {
+      const long double p1 = dd.p1;
+      const long double p0 = 1.0L - p1;
+      cur = (tau_t == 1 ? p0 : 0.0L) + (tau_t == 1 ? p1 : p0) * tail_tight;
+    }
+    return ns.less + ns.tight * cur;
+  }
+
+  // Pr[value_u < tau_u AND value_v < tau_v | fixed prefix + cand].
+  long double joint_prob(int e, int cand) const {
+    const NodeId u = edges_[e].u;
+    const NodeId v = edges_[e].v;
+    const CoinSpec& su = specs_[u];
+    const CoinSpec& sv = specs_[v];
+    const EdgeState& es = edge_state_[e];
+    const int t = cur_chunk_;
+    if (t == b_) {
+      return (node_state_[u].value < su.threshold && node_state_[v].value < sv.threshold)
+                 ? 1.0L
+                 : 0.0L;
+    }
+    const int r = b_ - t - 1;
+    const int tu = static_cast<int>(su.threshold >> (b_ - 1 - t) & 1);
+    const int tv = static_cast<int>(sv.threshold >> (b_ - 1 - t) & 1);
+    const std::uint64_t mask_low = (r == 0) ? 0 : ((std::uint64_t{1} << r) - 1);
+    const long double tail_u = ldexpl(static_cast<long double>(su.threshold & mask_low), -r);
+    const long double tail_v = ldexpl(static_cast<long double>(sv.threshold & mask_low), -r);
+
+    // Joint distribution of the current digit pair given the tentative bit.
+    // Colors of adjacent nodes differ; whether the two digit forms share
+    // the same remaining variable set decides correlation.
+    JointDist q{};
+    const DigitDist dqu = digit_dist(u, cand);
+    const DigitDist dqv = digit_dist(v, cand);
+    if (dqu.determined && dqv.determined) {
+      q[dqu.value][dqv.value] = 1.0L;
+    } else {
+      // c_t is still free for both, so both digits are uniform; they are
+      // equal up to the xor of the remaining a_t-part parities. They are
+      // perfectly correlated iff the remaining color-bit sets coincide.
+      const std::uint64_t rem_mask = cur_offset_ >= 64 ? 0 : (~std::uint64_t{0} << cur_offset_);
+      std::uint64_t rem_u = specs_[u].input_color & rem_mask;
+      std::uint64_t rem_v = specs_[v].input_color & rem_mask;
+      int ku = node_state_[u].known;
+      int kv = node_state_[v].known;
+      // Account for the tentative bit cand at position cur_offset_ (an
+      // a_t bit, since the determined/determined case above covers c_t).
+      if (cand && (rem_u >> cur_offset_ & 1)) ku ^= 1;
+      if (cand && (rem_v >> cur_offset_ & 1)) kv ^= 1;
+      rem_u &= ~(std::uint64_t{1} << cur_offset_);
+      rem_v &= ~(std::uint64_t{1} << cur_offset_);
+      if (rem_u == rem_v) {
+        // digit_u ^ digit_v = ku ^ kv always; digit_u uniform (c_t free).
+        const int delta = ku ^ kv;
+        q[0][delta] = 0.5L;
+        q[1][1 ^ delta] = 0.5L;
+      } else {
+        // Two distinct nonempty remaining variable sets (they differ in
+        // some a_t bit; both contain c_t): uniform on {0,1}^2.
+        q[0][0] = q[0][1] = q[1][0] = q[1][1] = 0.25L;
+      }
+    }
+
+    // Tail factors: after digit t all chunks are free, so the two suffixes
+    // are independent uniform r-bit values.
+    auto fu = [&](int x) -> long double {
+      if (x < tu) return 1.0L;
+      if (x > tu) return 0.0L;
+      return tail_u;
+    };
+    auto fv = [&](int y) -> long double {
+      if (y < tv) return 1.0L;
+      if (y > tv) return 0.0L;
+      return tail_v;
+    };
+    long double both_tail = 0.0L;
+    long double u_tail = 0.0L;  // Pr[u suffix < tau_u suffix from digit t]
+    long double v_tail = 0.0L;
+    for (int x = 0; x < 2; ++x) {
+      const long double qu = q[x][0] + q[x][1];
+      u_tail += qu * fu(x);
+      for (int y = 0; y < 2; ++y) {
+        both_tail += q[x][y] * fu(x) * fv(y);
+        if (x == 0) v_tail += (q[0][y] + q[1][y]) * fv(y);
+      }
+    }
+    return es.D + es.B * u_tail + es.C * v_tail + es.A * both_tail;
+  }
+
+  int w_;
+  int b_;
+  int cur_chunk_ = 0;
+  int cur_offset_ = 0;
+  std::vector<CoinSpec> specs_;
+  std::vector<ConflictEdge> edges_;
+  std::vector<NodeState> node_state_;
+  std::vector<EdgeState> edge_state_;
+};
+
+}  // namespace
+
+std::unique_ptr<PairProbEngine> make_generic_pair_prob(const CoinFamily& family) {
+  return std::make_unique<GenericPairProb>(family);
+}
+
+std::unique_ptr<PairProbEngine> make_fast_bitwise_pair_prob(std::uint64_t num_input_colors,
+                                                            int b) {
+  return std::make_unique<FastBitwisePairProb>(num_input_colors, b);
+}
+
+}  // namespace dcolor

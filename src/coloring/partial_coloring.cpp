@@ -1,0 +1,299 @@
+#include "src/coloring/partial_coloring.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/coloring/linial.h"
+#include "src/coloring/mis.h"
+#include "src/hash/bitwise_family.h"
+#include "src/hash/gf_family.h"
+#include "src/util/bits.h"
+
+namespace dcolor {
+namespace {
+
+// Per-node candidate set: a contiguous range [lo, hi) of the node's sorted
+// color list (all entries sharing the current prefix).
+struct Range {
+  int lo = 0;
+  int hi = 0;
+  int size() const { return hi - lo; }
+};
+
+// Sends `payload` of `bits` bits from every node along its alive conflict
+// edges, splitting into ceil(bits/B) sequential rounds if needed. Only the
+// first chunk carries real simulator traffic; the rest are charged.
+void exchange_along_alive(congest::Network& net, const std::vector<std::vector<NodeId>>& alive,
+                          const std::vector<bool>& participating,
+                          const std::vector<std::uint64_t>& payload, int bits) {
+  const int bw = net.bandwidth_bits();
+  const int chunks = (bits + bw - 1) / bw;
+  const int first_bits = std::min(bits, bw);
+  const std::uint64_t mask =
+      first_bits >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << first_bits) - 1);
+  for (NodeId v = 0; v < static_cast<NodeId>(alive.size()); ++v) {
+    if (!participating[v]) continue;
+    for (NodeId u : alive[v]) net.send(v, u, payload[v] & mask, first_bits);
+  }
+  net.advance_round();
+  if (chunks > 1) net.tick(chunks - 1);
+}
+
+}  // namespace
+
+int precision_bits_for(int max_degree, int color_bits, bool avoid_mis) {
+  const std::uint64_t delta = std::max(max_degree, 1);
+  const std::uint64_t logc = std::max(color_bits, 1);
+  std::uint64_t target = 10 * delta * logc;
+  if (avoid_mis) target *= (delta + 1);
+  return std::max(1, ceil_log2(target));
+}
+
+PartialColoringStats color_one_eighth(congest::Network& net, DerandChannel& channel,
+                                      InducedSubgraph& active, ListInstance& inst,
+                                      std::vector<Color>& colors,
+                                      const std::vector<std::int64_t>& input_coloring,
+                                      std::int64_t K, const PartialColoringOptions& opts) {
+  const Graph& g = net.graph();
+  const NodeId n = g.num_nodes();
+  const int width = inst.color_bits();  // ceil(log C)
+
+  PartialColoringStats stats;
+  stats.phases = width;
+
+  // --- Setup: active nodes, degrees, max degree of the active subgraph.
+  std::vector<bool> is_active(n, false);
+  std::vector<NodeId> active_nodes;
+  int delta = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    if (!active.contains(v)) continue;
+    is_active[v] = true;
+    active_nodes.push_back(v);
+    delta = std::max(delta, active.degree(v));
+  }
+  stats.active_before = static_cast<NodeId>(active_nodes.size());
+  if (active_nodes.empty()) return stats;
+
+  const int b = precision_bits_for(delta, width, opts.avoid_mis);
+  stats.precision_bits = b;
+
+  // Section-4 variant precondition: |L(v)| <= deg(v)+1 (needed for
+  // Equation (9)). Trimming is always safe for a (degree+1) instance.
+  if (opts.avoid_mis) {
+    for (NodeId v : active_nodes) {
+      inst.trim_list(v, static_cast<std::size_t>(active.degree(v)) + 1);
+    }
+  }
+
+  // Coin machinery. Input colors for the hash are the given K-coloring.
+  std::unique_ptr<CoinFamily> family =
+      make_coin_family(opts.family, static_cast<std::uint64_t>(K), b);
+  std::unique_ptr<PairProbEngine> engine =
+      (opts.family == CoinFamilyKind::kBitwise && opts.fast_engine)
+          ? make_fast_bitwise_pair_prob(static_cast<std::uint64_t>(K), b)
+          : make_generic_pair_prob(*family);
+  stats.seed_bits = engine->num_seed_bits();
+
+  // --- Alive conflict adjacency (edges of G_l: equal prefixes so far).
+  std::vector<std::vector<NodeId>> alive(n);
+  for (NodeId v : active_nodes) {
+    active.for_each_neighbor(v, [&](NodeId u) { alive[v].push_back(u); });
+  }
+
+  // Candidate ranges over the (sorted) lists.
+  std::vector<Range> range(n);
+  for (NodeId v : active_nodes) range[v] = Range{0, static_cast<int>(inst.list(v).size())};
+
+  // The input coloring psi is static; in a real execution nodes exchange
+  // it along conflict edges once (log K bits).
+  {
+    std::vector<std::uint64_t> psi(n, 0);
+    for (NodeId v : active_nodes) psi[v] = static_cast<std::uint64_t>(input_coloring[v]);
+    exchange_along_alive(net, alive, is_active, psi,
+                         bit_width_of(static_cast<std::uint64_t>(std::max<std::int64_t>(K - 1, 1))));
+  }
+
+  std::vector<CoinSpec> specs(n);
+  std::vector<int> k1_of(n, 0);
+  std::vector<long double> x0(n), x1(n);
+
+  // --- ceil(logC) prefix-extension phases.
+  for (int l = 0; l < width; ++l) {
+    // Split each candidate range by bit l: entries with bit 0 precede
+    // entries with bit 1 (lists sorted, shared prefix).
+    for (NodeId v : active_nodes) {
+      const auto& L = inst.list(v);
+      const Range r = range[v];
+      const auto first1 = std::partition_point(
+          L.begin() + r.lo, L.begin() + r.hi, [&](Color c) {
+            return msb_bit(static_cast<std::uint64_t>(c), l, width) == 0;
+          });
+      const int split = static_cast<int>(first1 - L.begin());
+      k1_of[v] = r.hi - split;
+      specs[v] = CoinSpec{static_cast<std::uint64_t>(input_coloring[v]),
+                          threshold_for(static_cast<std::uint64_t>(k1_of[v]),
+                                        static_cast<std::uint64_t>(r.size()), b)};
+    }
+    for (NodeId v = 0; v < n; ++v) {
+      if (!is_active[v]) specs[v] = CoinSpec{0, 0};
+    }
+
+    // Nodes exchange tau (equivalently k1 and list size) along alive
+    // conflict edges: b+1 bits.
+    {
+      std::vector<std::uint64_t> taus(n, 0);
+      for (NodeId v : active_nodes) taus[v] = specs[v].threshold;
+      exchange_along_alive(net, alive, is_active, taus, b + 1);
+    }
+
+    // Conflict edge list (u < v) for this phase.
+    std::vector<ConflictEdge> edges;
+    for (NodeId v : active_nodes) {
+      for (NodeId u : alive[v]) {
+        if (v < u) edges.push_back(ConflictEdge{v, u});
+      }
+    }
+    engine->begin_phase(specs, edges);
+
+    // --- Fix the seed bits one by one (Lemma 2.6).
+    const int d = engine->num_seed_bits();
+    for (int j = 0; j < d; ++j) {
+      std::fill(x0.begin(), x0.end(), 0.0L);
+      std::fill(x1.begin(), x1.end(), 0.0L);
+      for (std::size_t e = 0; e < edges.size(); ++e) {
+        const NodeId u = edges[e].u;
+        const NodeId v = edges[e].v;
+        const JointDist J0 = engine->edge_joint(static_cast<int>(e), 0);
+        const JointDist J1 = engine->edge_joint(static_cast<int>(e), 1);
+        // Contribution of this edge to E[Phi_l(u)] and E[Phi_l(v)]:
+        // Pr[both coins c] weighted by 1/|L_l(endpoint)| after the split.
+        const int k1u = k1_of[u], k0u = range[u].size() - k1u;
+        const int k1v = k1_of[v], k0v = range[v].size() - k1v;
+        if (k0u > 0) {
+          x0[u] += J0[0][0] / k0u;
+          x1[u] += J1[0][0] / k0u;
+        }
+        if (k1u > 0) {
+          x0[u] += J0[1][1] / k1u;
+          x1[u] += J1[1][1] / k1u;
+        }
+        if (k0v > 0) {
+          x0[v] += J0[0][0] / k0v;
+          x1[v] += J1[0][0] / k0v;
+        }
+        if (k1v > 0) {
+          x0[v] += J0[1][1] / k1v;
+          x1[v] += J1[1][1] / k1v;
+        }
+      }
+      const auto [sum0, sum1] = channel.aggregate_pair(net, x0, x1);
+      const int bit = sum0 <= sum1 ? 0 : 1;
+      channel.broadcast_bit(net, bit);
+      engine->fix_next_bit(bit);
+    }
+
+    // --- Apply the coins: extend prefixes, update conflict edges.
+    std::vector<int> new_bit(n, 0);
+    for (NodeId v : active_nodes) {
+      const int c = engine->coin(v);
+      new_bit[v] = c;
+      const auto& L = inst.list(v);
+      const Range r = range[v];
+      const auto first1 = std::partition_point(
+          L.begin() + r.lo, L.begin() + r.hi, [&](Color col) {
+            return msb_bit(static_cast<std::uint64_t>(col), l, width) == 0;
+          });
+      const int split = static_cast<int>(first1 - L.begin());
+      range[v] = c ? Range{split, r.hi} : Range{r.lo, split};
+      assert(range[v].size() >= 1 && "candidate list must never become empty");
+    }
+    // One round: exchange the new prefix bit with alive conflict neighbors.
+    {
+      std::vector<std::uint64_t> bits(n, 0);
+      for (NodeId v : active_nodes) bits[v] = static_cast<std::uint64_t>(new_bit[v]);
+      exchange_along_alive(net, alive, is_active, bits, 1);
+    }
+    for (NodeId v : active_nodes) {
+      std::erase_if(alive[v], [&](NodeId u) { return new_bit[u] != new_bit[v]; });
+    }
+
+    // Exact potential audit for the invariant tests.
+    Fraction phi;
+    for (NodeId v : active_nodes) {
+      phi += Fraction(static_cast<std::int64_t>(alive[v].size()), range[v].size());
+    }
+    stats.potential_after_phase.push_back(phi);
+  }
+
+  // --- Candidate colors are now unique (full-width prefixes).
+  std::vector<Color> candidate(n, kUncolored);
+  for (NodeId v : active_nodes) {
+    assert(range[v].size() == 1);
+    candidate[v] = inst.list(v)[range[v].lo];
+  }
+
+  // --- Select a conflict-free subset to color permanently.
+  std::vector<bool> keep(n, false);
+  if (opts.avoid_mis) {
+    // Section 4: with the extra accuracy, at least half the active nodes
+    // have at most one conflict; the higher id wins a 1-conflict pair.
+    for (NodeId v : active_nodes) {
+      if (alive[v].empty()) {
+        keep[v] = true;
+      } else if (alive[v].size() == 1 && v > alive[v][0]) {
+        keep[v] = true;
+      }
+    }
+    net.tick(1);  // the id-comparison round
+  } else {
+    // V_{<4}: conflict degree <= 3; the induced conflict graph has max
+    // degree 3. Linial + color-class MIS selects >= |V_{<4}|/4 nodes.
+    std::vector<bool> low(n, false);
+    for (NodeId v : active_nodes) low[v] = alive[v].size() <= 3;
+    // Conflict graph restricted to V_{<4}: materialize it for the MIS.
+    std::vector<std::pair<NodeId, NodeId>> conf_edges;
+    for (NodeId v : active_nodes) {
+      if (!low[v]) continue;
+      for (NodeId u : alive[v]) {
+        if (low[u] && v < u) conf_edges.emplace_back(v, u);
+      }
+    }
+    Graph conf = Graph::from_edges(n, std::move(conf_edges));
+    congest::Network conf_net(conf, net.bandwidth_bits());
+    std::vector<bool> memb(n, false);
+    for (NodeId v : active_nodes) memb[v] = low[v];
+    InducedSubgraph conf_sub(conf, memb);
+    // Start Linial from the given K-coloring (proper on any subgraph).
+    LinialResult lin = linial_coloring(conf_net, conf_sub, &input_coloring, K);
+    const std::vector<bool> in_mis =
+        mis_by_color_classes(conf_net, conf_sub, lin.coloring, lin.num_colors);
+    // Charge the conflict-subgraph rounds to the main network: these
+    // messages travel over edges of G (the conflict graph is a subgraph).
+    net.tick(conf_net.metrics().rounds);
+    for (NodeId v : active_nodes) keep[v] = low[v] && in_mis[v];
+  }
+
+  // --- Commit: color kept nodes, notify neighbors, prune lists.
+  std::vector<NodeId> newly;
+  for (NodeId v : active_nodes) {
+    if (keep[v]) newly.push_back(v);
+  }
+  for (NodeId v : newly) {
+    colors[v] = candidate[v];
+    active.for_each_neighbor(v, [&](NodeId u) {
+      net.send(v, u, static_cast<std::uint64_t>(candidate[v]), width == 0 ? 1 : width);
+    });
+  }
+  net.advance_round();
+  for (NodeId v : newly) active.remove(v);
+  for (NodeId v : active_nodes) {
+    if (keep[v]) continue;
+    for (const congest::Incoming& m : net.inbox(v)) {
+      inst.remove_color(v, static_cast<Color>(m.payload));
+    }
+  }
+  stats.newly_colored = static_cast<NodeId>(newly.size());
+  return stats;
+}
+
+}  // namespace dcolor

@@ -1,0 +1,162 @@
+#include "src/coloring/segment_derand.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "src/hash/coin_family.h"  // threshold_for
+
+namespace dcolor {
+namespace {
+
+struct ChunkForm {
+  std::uint64_t free_mask = 0;
+  int known = 0;
+};
+
+// Pr[h in [lo,hi)] given determined output digits `prefix` (there are
+// b - r of them) and r uniform digits to come.
+inline long double interval_prob(std::uint64_t lo, std::uint64_t hi, std::uint64_t prefix,
+                                 int r) {
+  const std::uint64_t lo_range = prefix << r;
+  const std::uint64_t hi_range = lo_range + (std::uint64_t{1} << r);
+  const std::uint64_t a = lo > lo_range ? lo : lo_range;
+  const std::uint64_t b2 = hi < hi_range ? hi : hi_range;
+  if (a >= b2) return 0.0L;
+  return ldexpl(static_cast<long double>(b2 - a), -r);
+}
+
+inline void substitute(ChunkForm& f, int from_var, int count, int assignment) {
+  for (int k = 0; k < count; ++k) {
+    const int var = from_var + k;
+    if (f.free_mask >> var & 1) {
+      f.free_mask &= ~(std::uint64_t{1} << var);
+      if (assignment >> k & 1) f.known ^= 1;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> multiway_bounds(const std::vector<int>& counts, int b) {
+  std::uint64_t size = 0;
+  for (int c : counts) size += static_cast<std::uint64_t>(c);
+  std::vector<std::uint64_t> bounds(counts.size() + 1, 0);
+  std::uint64_t cum = 0;
+  for (std::size_t g = 0; g < counts.size(); ++g) {
+    cum += static_cast<std::uint64_t>(counts[g]);
+    bounds[g + 1] = threshold_for(cum, size, b);
+  }
+  return bounds;
+}
+
+SegmentDerandResult segment_derand_step(const std::vector<MultiwaySpec>& specs,
+                                        const std::vector<std::vector<NodeId>>& conflict,
+                                        int w, int b, int lambda,
+                                        const std::function<void()>& on_segment,
+                                        const EdgePairsFn& edge_pairs) {
+  const NodeId n = static_cast<NodeId>(specs.size());
+  SegmentDerandResult res;
+  res.selected.assign(n, -1);
+
+  std::vector<std::uint64_t> hash_prefix(n, 0);
+  std::vector<ChunkForm> form(n);
+  const std::uint64_t a_mask = (w >= 64) ? ~std::uint64_t{0} : ((std::uint64_t{1} << w) - 1);
+
+  for (int t = 0; t < b; ++t) {
+    for (NodeId v = 0; v < n; ++v) {
+      form[v].free_mask = (specs[v].id & a_mask) | (std::uint64_t{1} << w);
+      form[v].known = 0;
+    }
+    int bit_pos = 0;
+    while (bit_pos < w + 1) {
+      const int seg = std::min(lambda, w + 1 - bit_pos);
+      const int num_cand = 1 << seg;
+      long double best_val = 0;
+      int best_r = -1;
+      for (int R = 0; R < num_cand; ++R) {
+        long double sum = 0;
+        for (NodeId v = 0; v < n; ++v) {
+          if (!specs[v].active) continue;
+          ChunkForm fv = form[v];
+          substitute(fv, bit_pos, seg, R);
+          const int r_after = b - t - 1;
+          for (std::size_t j = 0; j < conflict[v].size(); ++j) {
+            const NodeId u = conflict[v][j];
+            ChunkForm fu = form[u];
+            substitute(fu, bit_pos, seg, R);
+            long double q[2][2] = {{0, 0}, {0, 0}};
+            if (fv.free_mask == 0 && fu.free_mask == 0) {
+              q[fv.known][fu.known] = 1.0L;
+            } else if (fv.free_mask == 0) {
+              q[fv.known][0] = q[fv.known][1] = 0.5L;
+            } else if (fu.free_mask == 0) {
+              q[0][fu.known] = q[1][fu.known] = 0.5L;
+            } else if (fv.free_mask == fu.free_mask) {
+              const int delta = fv.known ^ fu.known;
+              q[0][delta] = q[1][1 ^ delta] = 0.5L;
+            } else {
+              q[0][0] = q[0][1] = q[1][0] = q[1][1] = 0.25L;
+            }
+            auto joint_pg = [&](std::size_t gv, std::size_t gu) {
+              long double p_both = 0;
+              for (int x = 0; x < 2; ++x) {
+                for (int y = 0; y < 2; ++y) {
+                  if (q[x][y] == 0.0L) continue;
+                  const long double pv = interval_prob(
+                      specs[v].bounds[gv], specs[v].bounds[gv + 1],
+                      (hash_prefix[v] << 1) | static_cast<unsigned>(x), r_after);
+                  const long double pu = interval_prob(
+                      specs[u].bounds[gu], specs[u].bounds[gu + 1],
+                      (hash_prefix[u] << 1) | static_cast<unsigned>(y), r_after);
+                  p_both += q[x][y] * pv * pu;
+                }
+              }
+              return p_both;
+            };
+            if (edge_pairs != nullptr) {
+              for (const ConflictPair& cp : edge_pairs(v, j)) {
+                sum += joint_pg(static_cast<std::size_t>(cp.g_v),
+                                static_cast<std::size_t>(cp.g_u)) *
+                       cp.weight;
+              }
+            } else {
+              const std::size_t fanout = specs[v].counts.size();
+              for (std::size_t g = 0; g < fanout; ++g) {
+                const int kg = specs[v].counts[g];
+                if (kg == 0) continue;
+                sum += joint_pg(g, g) / kg;
+              }
+            }
+          }
+        }
+        if (best_r < 0 || sum < best_val) {
+          best_val = sum;
+          best_r = R;
+        }
+      }
+      for (NodeId v = 0; v < n; ++v) substitute(form[v], bit_pos, seg, best_r);
+      bit_pos += seg;
+      ++res.segments_fixed;
+      on_segment();
+    }
+    for (NodeId v = 0; v < n; ++v) {
+      assert(form[v].free_mask == 0);
+      hash_prefix[v] = (hash_prefix[v] << 1) | static_cast<unsigned>(form[v].known);
+    }
+  }
+
+  for (NodeId v = 0; v < n; ++v) {
+    if (!specs[v].active) continue;
+    const std::uint64_t h = hash_prefix[v];
+    for (std::size_t g = 0; g < specs[v].counts.size(); ++g) {
+      if (h >= specs[v].bounds[g] && h < specs[v].bounds[g + 1]) {
+        res.selected[v] = static_cast<int>(g);
+        break;
+      }
+    }
+    assert(res.selected[v] >= 0 && specs[v].counts[res.selected[v]] > 0);
+  }
+  return res;
+}
+
+}  // namespace dcolor

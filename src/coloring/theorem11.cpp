@@ -1,0 +1,97 @@
+#include "src/coloring/theorem11.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/coloring/linial.h"
+#include "src/congest/bfs_tree.h"
+#include "src/graph/properties.h"
+
+namespace dcolor {
+
+int list_color_subset(congest::Network& net, DerandChannel& channel, InducedSubgraph& active,
+                      ListInstance& inst, std::vector<Color>& colors,
+                      const std::vector<std::int64_t>& input_coloring, std::int64_t K,
+                      const PartialColoringOptions& opts,
+                      std::vector<PartialColoringStats>* stats) {
+  NodeId remaining = 0;
+  for (NodeId v = 0; v < net.graph().num_nodes(); ++v) remaining += active.contains(v) ? 1 : 0;
+  int iterations = 0;
+  while (remaining > 0) {
+    PartialColoringStats st =
+        color_one_eighth(net, channel, active, inst, colors, input_coloring, K, opts);
+    if (stats != nullptr) stats->push_back(st);
+    ++iterations;
+    assert(st.newly_colored >= 1 && "Lemma 2.1 guarantees progress");
+    remaining -= st.newly_colored;
+  }
+  return iterations;
+}
+
+Theorem11Result theorem11_solve(const Graph& g, ListInstance inst,
+                                const PartialColoringOptions& opts) {
+  Theorem11Result res;
+  const NodeId n = g.num_nodes();
+  res.colors.assign(n, kUncolored);
+  if (n == 0) return res;
+
+  congest::Network net(g, opts.bandwidth_bits);
+  InducedSubgraph active(g, std::vector<bool>(n, true));
+
+  // Initial K = O(Delta^2 polylog) coloring via Linial (from ids).
+  LinialResult lin = linial_coloring(net, active);
+  res.input_colors = lin.num_colors;
+
+  // BFS aggregation tree (rooted at node 0; any designated leader works).
+  congest::BfsTree tree = congest::BfsTree::build(net, 0);
+  BfsChannel channel(tree);
+
+  res.iterations = list_color_subset(net, channel, active, inst, res.colors, lin.coloring,
+                                     lin.num_colors, opts, &res.per_iteration);
+  res.metrics = net.metrics();
+  return res;
+}
+
+Theorem11Result theorem11_solve_per_component(const Graph& g, ListInstance inst,
+                                              const PartialColoringOptions& opts) {
+  int num_comp = 0;
+  const std::vector<int> comp = connected_components(g, &num_comp);
+  if (num_comp <= 1) return theorem11_solve(g, std::move(inst), opts);
+
+  Theorem11Result res;
+  res.colors.assign(g.num_nodes(), kUncolored);
+  for (int c = 0; c < num_comp; ++c) {
+    // Build the component's graph with local ids.
+    std::vector<NodeId> local(g.num_nodes(), -1);
+    std::vector<NodeId> global;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (comp[v] == c) {
+        local[v] = static_cast<NodeId>(global.size());
+        global.push_back(v);
+      }
+    }
+    std::vector<std::pair<NodeId, NodeId>> edges;
+    for (NodeId v : global) {
+      for (NodeId u : g.neighbors(v)) {
+        if (comp[u] == c && v < u) edges.emplace_back(local[v], local[u]);
+      }
+    }
+    Graph sub = Graph::from_edges(static_cast<NodeId>(global.size()), std::move(edges));
+    std::vector<std::vector<Color>> lists(global.size());
+    for (std::size_t i = 0; i < global.size(); ++i) lists[i] = inst.list(global[i]);
+    ListInstance sub_inst(sub, inst.color_space(), std::move(lists));
+    Theorem11Result sub_res = theorem11_solve(sub, std::move(sub_inst), opts);
+    for (std::size_t i = 0; i < global.size(); ++i) res.colors[global[i]] = sub_res.colors[i];
+    // Components run in parallel: round count is the max, traffic adds up.
+    res.metrics.rounds = std::max(res.metrics.rounds, sub_res.metrics.rounds);
+    res.metrics.messages += sub_res.metrics.messages;
+    res.metrics.total_bits += sub_res.metrics.total_bits;
+    res.metrics.max_message_bits =
+        std::max(res.metrics.max_message_bits, sub_res.metrics.max_message_bits);
+    res.iterations = std::max(res.iterations, sub_res.iterations);
+    res.input_colors = std::max(res.input_colors, sub_res.input_colors);
+  }
+  return res;
+}
+
+}  // namespace dcolor

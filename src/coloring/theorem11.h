@@ -1,0 +1,49 @@
+// Theorem 1.1: deterministic (degree+1)-list coloring in
+// O(D * logn * logC * (logDelta + loglogC)) CONGEST rounds.
+//
+// Pipeline: Linial's algorithm computes an O(Delta^2 polylog Delta) input
+// coloring in O(log* n) rounds, then Lemma 2.1 (color_one_eighth) runs for
+// O(log n) iterations, each coloring >= 1/8 of the remaining nodes; after
+// every iteration uncolored nodes prune newly taken colors from their
+// lists, so the residual instance stays a valid (degree+1) instance.
+#pragma once
+
+#include <vector>
+
+#include "src/coloring/list_instance.h"
+#include "src/coloring/partial_coloring.h"
+#include "src/congest/network.h"
+
+namespace dcolor {
+
+struct Theorem11Result {
+  std::vector<Color> colors;
+  int iterations = 0;                       // Lemma 2.1 invocations
+  std::int64_t input_colors = 0;            // K from Linial
+  congest::Metrics metrics;                 // honest CONGEST accounting
+  std::vector<PartialColoringStats> per_iteration;
+};
+
+// Colors every node of `active` by iterating Lemma 2.1 until none remain
+// (the O(log n)-iteration loop of Theorem 1.1), over an arbitrary
+// aggregation channel. This is the entry point Corollary 1.2 reuses per
+// network-decomposition cluster.
+// Returns the number of Lemma 2.1 iterations executed.
+int list_color_subset(congest::Network& net, DerandChannel& channel, InducedSubgraph& active,
+                      ListInstance& inst, std::vector<Color>& colors,
+                      const std::vector<std::int64_t>& input_coloring, std::int64_t K,
+                      const PartialColoringOptions& opts,
+                      std::vector<PartialColoringStats>* stats = nullptr);
+
+// Solves the instance completely. The graph must be connected (the BFS
+// aggregation tree spans it); use solve_per_component for general graphs.
+Theorem11Result theorem11_solve(const Graph& g, ListInstance inst,
+                                const PartialColoringOptions& opts = {});
+
+// Runs Theorem 1.1 independently on every connected component (the paper's
+// remark: D becomes the maximum component diameter). Metrics are the MAX
+// over components (components run in parallel).
+Theorem11Result theorem11_solve_per_component(const Graph& g, ListInstance inst,
+                                              const PartialColoringOptions& opts = {});
+
+}  // namespace dcolor

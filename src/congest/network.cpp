@@ -1,0 +1,67 @@
+#include "src/congest/network.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/util/bits.h"
+
+namespace dcolor::congest {
+
+Network::Network(const Graph& g, int bandwidth_bits) : g_(&g) {
+  const int logn = ceil_log2(std::max<std::uint64_t>(g.num_nodes(), 2));
+  bandwidth_ = bandwidth_bits > 0 ? bandwidth_bits : 2 * logn + 16;
+  staged_.resize(g.num_nodes());
+  inbox_.resize(g.num_nodes());
+  slot_offset_.resize(g.num_nodes() + 1, 0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    slot_offset_[v + 1] = slot_offset_[v] + g.degree(v);
+  }
+  edge_stamp_.assign(static_cast<std::size_t>(slot_offset_[g.num_nodes()]), -1);
+}
+
+void Network::send(NodeId u, NodeId v, std::uint64_t payload, int bits) {
+  if (bits > bandwidth_) {
+    throw CongestViolation("message of " + std::to_string(bits) + " bits exceeds bandwidth " +
+                           std::to_string(bandwidth_));
+  }
+  if (bits < bit_width_of(payload)) {
+    throw CongestViolation("declared size " + std::to_string(bits) +
+                           " bits cannot hold payload");
+  }
+  const auto nb = g_->neighbors(u);
+  const auto it = std::lower_bound(nb.begin(), nb.end(), v);
+  if (it == nb.end() || *it != v) {
+    throw CongestViolation("send over non-edge");
+  }
+  const std::int64_t slot = slot_offset_[u] + (it - nb.begin());
+  if (edge_stamp_[slot] == metrics_.rounds) {
+    throw CongestViolation("two messages over one edge in one round");
+  }
+  edge_stamp_[slot] = metrics_.rounds;
+  staged_[v].push_back(Incoming{u, payload});
+  ++metrics_.messages;
+  metrics_.total_bits += bits;
+  metrics_.max_message_bits = std::max(metrics_.max_message_bits, bits);
+}
+
+void Network::send_all(NodeId u, std::uint64_t payload, int bits) {
+  for (NodeId v : g_->neighbors(u)) send(u, v, payload, bits);
+}
+
+void Network::advance_round() {
+  for (NodeId v = 0; v < g_->num_nodes(); ++v) {
+    inbox_[v].swap(staged_[v]);
+    staged_[v].clear();
+  }
+  ++metrics_.rounds;
+}
+
+void Network::tick(std::int64_t rounds) {
+  assert(rounds >= 0);
+  // No staged messages may be pending across a tick; ticks model rounds in
+  // which the algorithm is provably silent or whose messages are accounted
+  // in aggregate by the caller.
+  metrics_.rounds += rounds;
+}
+
+}  // namespace dcolor::congest

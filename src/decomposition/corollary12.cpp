@@ -1,0 +1,134 @@
+#include "src/decomposition/corollary12.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/coloring/linial.h"
+#include "src/util/bits.h"
+
+namespace dcolor {
+
+ClusterChannel::ClusterChannel(const Graph& g, const Cluster& cluster)
+    : cluster_(&cluster), depth_(cluster.tree_depth) {
+  level_.assign(g.num_nodes(), -1);
+  parent_.assign(g.num_nodes(), -1);
+  // Recompute depths from parents (tree_nodes are in insertion order, so a
+  // parent always precedes its children).
+  for (std::size_t i = 0; i < cluster.tree_nodes.size(); ++i) {
+    const NodeId v = cluster.tree_nodes[i];
+    const NodeId p = cluster.tree_parent[i];
+    parent_[v] = p;
+    level_[v] = (p < 0) ? 0 : level_[p] + 1;
+    depth_ = std::max(depth_, level_[v]);
+  }
+}
+
+std::pair<long double, long double> ClusterChannel::aggregate_pair(
+    congest::Network& net, const std::vector<long double>& values0,
+    const std::vector<long double>& values1) {
+  // Convergecast over the cluster tree: one wave, both sums (the second
+  // 64-bit word rides pipelined chunks, charged below).
+  std::vector<std::uint64_t> acc0(net.graph().num_nodes(), 0);
+  std::vector<std::uint64_t> acc1(net.graph().num_nodes(), 0);
+  for (NodeId v : cluster_->tree_nodes) {
+    acc0[v] = congest::to_fixed(values0[v]);
+    acc1[v] = congest::to_fixed(values1[v]);
+  }
+  const int bw = net.bandwidth_bits();
+  const int chunks = (128 + bw - 1) / bw;
+  for (int lev = depth_; lev >= 1; --lev) {
+    for (NodeId v : cluster_->tree_nodes) {
+      if (level_[v] != lev) continue;
+      const int first_bits = std::min(64, bw);
+      const std::uint64_t first =
+          first_bits >= 64 ? acc0[v] : (acc0[v] & ((std::uint64_t{1} << first_bits) - 1));
+      net.send(v, parent_[v], first, first_bits);
+    }
+    net.advance_round();
+    for (NodeId v : cluster_->tree_nodes) {
+      if (level_[v] != lev) continue;
+      const NodeId p = parent_[v];
+      auto sat_add = [](std::uint64_t a, std::uint64_t b) {
+        const std::uint64_t s = a + b;
+        return s < a ? ~std::uint64_t{0} : s;
+      };
+      acc0[p] = sat_add(acc0[p], acc0[v]);
+      acc1[p] = sat_add(acc1[p], acc1[v]);
+    }
+  }
+  if (chunks > 1) net.tick(chunks - 1);
+  const NodeId root = cluster_->root;
+  return {congest::from_fixed(acc0[root]), congest::from_fixed(acc1[root])};
+}
+
+void ClusterChannel::broadcast_bit(congest::Network& net, int bit) {
+  for (int lev = 0; lev < depth_; ++lev) {
+    for (NodeId v : cluster_->tree_nodes) {
+      if (level_[v] != lev + 1) continue;
+      net.send(parent_[v], v, static_cast<std::uint64_t>(bit), 1);
+    }
+    net.advance_round();
+  }
+}
+
+Corollary12Result corollary12_solve(const Graph& g, ListInstance inst,
+                                    const PartialColoringOptions& opts) {
+  const NodeId n = g.num_nodes();
+  Corollary12Result res;
+  res.colors.assign(n, kUncolored);
+  if (n == 0) return res;
+
+  res.decomposition = decompose(g);
+  res.decomposition_rounds = res.decomposition.rounds_charged;
+  const int kappa = std::max(1, res.decomposition.max_congestion(g));
+
+  // Global input coloring (Linial over the whole graph).
+  congest::Network gnet(g);
+  InducedSubgraph all(g, std::vector<bool>(n, true));
+  LinialResult lin = linial_coloring(gnet, all);
+  std::int64_t coloring_rounds = gnet.metrics().rounds;
+
+  const int cbits = std::max(inst.color_bits(), 1);
+  std::vector<bool> uncolored(n, true);
+
+  for (int k = 0; k < res.decomposition.num_colors; ++k) {
+    std::int64_t max_cluster_rounds = 0;
+    std::vector<NodeId> class_nodes;
+    for (const Cluster& c : res.decomposition.clusters) {
+      if (c.color != k) continue;
+      // Private network: clusters of one class run in parallel; the
+      // per-class cost is the max over clusters times the congestion.
+      congest::Network cnet(g, gnet.bandwidth_bits());
+      ClusterChannel chan(g, c);
+      std::vector<bool> memb(n, false);
+      for (NodeId v : c.members) memb[v] = true;
+      InducedSubgraph active(g, memb);
+      assert(inst.feasible_for(active));
+      list_color_subset(cnet, chan, active, inst, res.colors, lin.coloring, lin.num_colors,
+                        opts);
+      max_cluster_rounds = std::max(max_cluster_rounds, cnet.metrics().rounds);
+      class_nodes.insert(class_nodes.end(), c.members.begin(), c.members.end());
+    }
+    coloring_rounds += kappa * max_cluster_rounds;
+
+    // Cross-cluster pruning: freshly colored nodes announce their color;
+    // uncolored neighbors outside the cluster drop it from their lists.
+    for (NodeId v : class_nodes) {
+      uncolored[v] = false;
+      gnet.send_all(v, static_cast<std::uint64_t>(res.colors[v]), cbits);
+    }
+    gnet.advance_round();
+    for (NodeId v = 0; v < n; ++v) {
+      if (!uncolored[v]) continue;
+      for (const congest::Incoming& m : gnet.inbox(v)) {
+        inst.remove_color(v, static_cast<Color>(m.payload));
+      }
+    }
+    ++coloring_rounds;
+  }
+  res.coloring_rounds = coloring_rounds;
+  res.total_rounds = res.decomposition_rounds + res.coloring_rounds;
+  return res;
+}
+
+}  // namespace dcolor

@@ -1,0 +1,54 @@
+// Corollary 1.2: deterministic (degree+1)-list coloring of ANY graph in
+// polylog n CONGEST rounds, via a network decomposition.
+//
+// Pipeline: compute an (O(log n), O(log^2 n))-decomposition with
+// congestion O(log n) (src/decomposition/netdecomp.h), compute one global
+// Linial input coloring, then iterate through the decomposition's color
+// classes; for every class, run the Theorem 1.1 loop on each cluster in
+// parallel, aggregating over the cluster's associated tree instead of a
+// global BFS tree. After each class one global round lets freshly colored
+// nodes prune their colors from neighbors' lists across cluster borders.
+//
+// Round accounting follows the paper: clusters of one class run in
+// parallel, so a class costs (max over its clusters) * kappa (the
+// congestion factor pays for pipelining messages of up to kappa trees
+// sharing an edge), plus one global pruning round.
+#pragma once
+
+#include "src/coloring/theorem11.h"
+#include "src/decomposition/netdecomp.h"
+
+namespace dcolor {
+
+struct Corollary12Result {
+  std::vector<Color> colors;
+  NetworkDecomposition decomposition;
+  std::int64_t total_rounds = 0;      // decomposition + coloring, charged
+  std::int64_t decomposition_rounds = 0;
+  std::int64_t coloring_rounds = 0;
+};
+
+Corollary12Result corollary12_solve(const Graph& g, ListInstance inst,
+                                    const PartialColoringOptions& opts = {});
+
+// Channel that aggregates over one cluster's associated tree. Exposed for
+// tests.
+class ClusterChannel final : public DerandChannel {
+ public:
+  ClusterChannel(const Graph& g, const Cluster& cluster);
+
+  std::pair<long double, long double> aggregate_pair(
+      congest::Network& net, const std::vector<long double>& values0,
+      const std::vector<long double>& values1) override;
+  void broadcast_bit(congest::Network& net, int bit) override;
+
+  int depth() const { return depth_; }
+
+ private:
+  const Cluster* cluster_;
+  int depth_;
+  std::vector<int> level_;        // node -> tree depth (-1 if not in tree)
+  std::vector<NodeId> parent_;    // node -> tree parent
+};
+
+}  // namespace dcolor

@@ -1,0 +1,235 @@
+#include "src/decomposition/netdecomp.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <string>
+#include <unordered_map>
+
+#include "src/util/bits.h"
+
+namespace dcolor {
+namespace {
+
+// Working state of one phase.
+struct PhaseCluster {
+  std::uint64_t label = 0;
+  NodeId root = -1;
+  std::vector<NodeId> members;       // living members
+  std::vector<NodeId> ever_nodes;    // members + departed (Steiner)
+  std::vector<NodeId> ever_parent;   // growth-tree parents
+  std::vector<int> ever_depth;       // depth in growth tree
+  std::unordered_map<NodeId, int> depth_of;  // node -> growth-tree depth
+  int depth = 0;
+  bool alive_this_bit = true;        // still growing in the current bit step
+};
+
+}  // namespace
+
+int NetworkDecomposition::max_tree_depth() const {
+  int d = 0;
+  for (const Cluster& c : clusters) d = std::max(d, c.tree_depth);
+  return d;
+}
+
+int NetworkDecomposition::max_congestion(const Graph& g) const {
+  // Count, per (edge, color), how many trees of that color contain it.
+  std::map<std::tuple<NodeId, NodeId, int>, int> count;
+  int best = 0;
+  for (const Cluster& c : clusters) {
+    for (std::size_t i = 0; i < c.tree_nodes.size(); ++i) {
+      const NodeId v = c.tree_nodes[i];
+      const NodeId p = c.tree_parent[i];
+      if (p < 0) continue;
+      const NodeId a = std::min(v, p);
+      const NodeId b = std::max(v, p);
+      best = std::max(best, ++count[{a, b, c.color}]);
+    }
+  }
+  (void)g;
+  return best;
+}
+
+NetworkDecomposition decompose(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  NetworkDecomposition out;
+  out.cluster_of.assign(n, -1);
+  if (n == 0) return out;
+
+  const int b = std::max(1, ceil_log2(static_cast<std::uint64_t>(n)));  // label bits
+  std::vector<bool> living(n, true);  // not yet assigned to a final cluster
+  NodeId remaining = n;
+  int phase = 0;
+
+  // Per-node phase state.
+  std::vector<int> cl(n, -1);         // node -> phase-cluster index
+  std::vector<int> ever_index(n, -1); // node -> index within a cluster's ever_nodes (scratch)
+
+  while (remaining > 0) {
+    // --- Phase setup: singletons labeled by id.
+    std::vector<PhaseCluster> pc;
+    std::fill(cl.begin(), cl.end(), -1);
+    std::vector<bool> deleted(n, false);  // deferred to next phase
+    for (NodeId v = 0; v < n; ++v) {
+      if (!living[v]) continue;
+      PhaseCluster c;
+      c.label = static_cast<std::uint64_t>(v);
+      c.root = v;
+      c.members = {v};
+      c.ever_nodes = {v};
+      c.ever_parent = {-1};
+      c.ever_depth = {0};
+      c.depth_of[v] = 0;
+      cl[v] = static_cast<int>(pc.size());
+      pc.push_back(std::move(c));
+    }
+
+    auto is_active = [&](NodeId v) { return living[v] && !deleted[v]; };
+
+    // --- Process label bits.
+    for (int j = 0; j < b; ++j) {
+      for (PhaseCluster& c : pc) c.alive_this_bit = !c.members.empty();
+      bool any_growth = true;
+      while (any_growth) {
+        any_growth = false;
+        out.rounds_charged += 4;  // request/grant/join/label rounds
+
+        // Collect join requests: each active blue vertex adjacent to a
+        // growing red cluster requests exactly one (smallest label).
+        // requests[r] = list of (vertex, attaching neighbor inside r).
+        std::vector<std::vector<std::pair<NodeId, NodeId>>> requests(pc.size());
+        for (NodeId v = 0; v < n; ++v) {
+          if (!is_active(v)) continue;
+          const int cv = cl[v];
+          if (pc[cv].label >> j & 1) continue;  // v is red at this bit
+          int best_r = -1;
+          NodeId via = -1;
+          for (NodeId u : g.neighbors(v)) {
+            if (!is_active(u)) continue;
+            const int cu = cl[u];
+            if (cu == cv) continue;
+            if (!(pc[cu].label >> j & 1)) continue;  // only red clusters absorb
+            if (!pc[cu].alive_this_bit) continue;    // stopped: handled below
+            if (best_r < 0 || pc[cu].label < pc[best_r].label) {
+              best_r = cu;
+              via = u;
+            }
+          }
+          if (best_r >= 0) requests[best_r].emplace_back(v, via);
+        }
+
+        // Each growing red cluster decides: absorb (grow a layer) or stop.
+        for (std::size_t r = 0; r < pc.size(); ++r) {
+          if (!pc[r].alive_this_bit || requests[r].empty()) continue;
+          if (requests[r].size() * 2 * static_cast<std::size_t>(b) >= pc[r].members.size()) {
+            // Grow: absorb all requesters.
+            any_growth = true;
+            int layer_depth = 0;
+            for (const auto& [v, via] : requests[r]) {
+              // Remove v from its blue cluster's member list.
+              auto& old_members = pc[cl[v]].members;
+              old_members.erase(std::find(old_members.begin(), old_members.end(), v));
+              cl[v] = static_cast<int>(r);
+              pc[r].members.push_back(v);
+              // Tree: attach below `via`. If v already appears in r's tree
+              // (it left r earlier and is re-absorbed), keep its old slot.
+              const int via_depth = pc[r].depth_of.at(via);
+              if (!pc[r].depth_of.contains(v)) {
+                pc[r].ever_nodes.push_back(v);
+                pc[r].ever_parent.push_back(via);
+                pc[r].ever_depth.push_back(via_depth + 1);
+                pc[r].depth_of[v] = via_depth + 1;
+              }
+              layer_depth = std::max(layer_depth, pc[r].depth_of.at(v));
+            }
+            pc[r].depth = std::max(pc[r].depth, layer_depth);
+          } else {
+            // Stop: requesters are deleted (deferred to the next phase).
+            pc[r].alive_this_bit = false;
+            for (const auto& [v, via] : requests[r]) {
+              (void)via;
+              // v might meanwhile request another cluster in a later
+              // iteration — but per the algorithm it is deleted NOW.
+              deleted[v] = true;
+              auto& old_members = pc[cl[v]].members;
+              old_members.erase(std::find(old_members.begin(), old_members.end(), v));
+              cl[v] = -1;
+            }
+          }
+        }
+      }
+    }
+
+    // --- Harvest: surviving clusters get this phase's color.
+    for (PhaseCluster& c : pc) {
+      if (c.members.empty()) continue;
+      Cluster fin;
+      fin.color = phase;
+      fin.root = c.root;
+      fin.members = c.members;
+      fin.tree_nodes = c.ever_nodes;
+      fin.tree_parent = c.ever_parent;
+      fin.tree_depth = 0;
+      for (int d : c.ever_depth) fin.tree_depth = std::max(fin.tree_depth, d);
+      const int idx = static_cast<int>(out.clusters.size());
+      for (NodeId v : fin.members) {
+        out.cluster_of[v] = idx;
+        living[v] = false;
+        --remaining;
+      }
+      out.clusters.push_back(std::move(fin));
+    }
+    ++phase;
+    assert(phase <= 2 * b + 2 && "phases must stay logarithmic");
+  }
+  out.num_colors = phase;
+  (void)ever_index;
+  return out;
+}
+
+bool validate_decomposition(const Graph& g, const NetworkDecomposition& d, std::string* why) {
+  const NodeId n = g.num_nodes();
+  auto fail = [&](const std::string& msg) {
+    if (why != nullptr) *why = msg;
+    return false;
+  };
+  // Partition.
+  std::vector<int> seen(n, -1);
+  for (std::size_t i = 0; i < d.clusters.size(); ++i) {
+    for (NodeId v : d.clusters[i].members) {
+      if (seen[v] != -1) return fail("node in two clusters");
+      seen[v] = static_cast<int>(i);
+    }
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    if (seen[v] < 0) return fail("node in no cluster");
+    if (d.cluster_of[v] != seen[v]) return fail("cluster_of inconsistent");
+  }
+  for (const Cluster& c : d.clusters) {
+    if (c.color < 0 || c.color >= d.num_colors) return fail("bad color");
+    // (i) tree contains all members; tree edges are edges of G.
+    std::vector<bool> in_tree(n, false);
+    for (NodeId v : c.tree_nodes) in_tree[v] = true;
+    for (NodeId v : c.members) {
+      if (!in_tree[v]) return fail("member missing from tree");
+    }
+    for (std::size_t i = 0; i < c.tree_nodes.size(); ++i) {
+      const NodeId p = c.tree_parent[i];
+      if (p < 0) continue;
+      if (!g.has_edge(c.tree_nodes[i], p)) return fail("tree edge not a G edge");
+      if (!in_tree[p]) return fail("parent missing from tree");
+    }
+  }
+  // (iii) adjacent clusters have different colors.
+  for (NodeId v = 0; v < n; ++v) {
+    for (NodeId u : g.neighbors(v)) {
+      if (d.cluster_of[u] != d.cluster_of[v] &&
+          d.clusters[d.cluster_of[u]].color == d.clusters[d.cluster_of[v]].color) {
+        return fail("adjacent clusters share a color");
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace dcolor

@@ -1,0 +1,75 @@
+#include "src/gf2/gf2m.h"
+
+namespace dcolor {
+namespace {
+
+// Irreducible polynomials over GF(2), degree 1..32, low-weight
+// representatives (values include the X^m term). Standard table
+// (e.g., from Lidl & Niederreiter / HAC Table 4.8).
+constexpr std::uint64_t kIrreducible[33] = {
+    0,
+    0x3,         // m=1:  X + 1
+    0x7,         // m=2:  X^2 + X + 1
+    0xB,         // m=3:  X^3 + X + 1
+    0x13,        // m=4:  X^4 + X + 1
+    0x25,        // m=5:  X^5 + X^2 + 1
+    0x43,        // m=6:  X^6 + X + 1
+    0x83,        // m=7:  X^7 + X + 1
+    0x11B,       // m=8:  X^8 + X^4 + X^3 + X + 1
+    0x211,       // m=9:  X^9 + X^4 + 1
+    0x409,       // m=10: X^10 + X^3 + 1
+    0x805,       // m=11: X^11 + X^2 + 1
+    0x1053,      // m=12: X^12 + X^6 + X^4 + X + 1
+    0x201B,      // m=13: X^13 + X^4 + X^3 + X + 1
+    0x4143,      // m=14: X^14 + X^8 + X^6 + X + 1  (0x4143 = X^14+X^8+X^6+X+1)
+    0x8003,      // m=15: X^15 + X + 1
+    0x1002B,     // m=16: X^16 + X^5 + X^3 + X + 1
+    0x20009,     // m=17: X^17 + X^3 + 1
+    0x40009,     // m=18: X^18 + X^3 + 1  (irreducible trinomial X^18+X^3+1)
+    0x80027,     // m=19: X^19 + X^5 + X^2 + X + 1
+    0x100009,    // m=20: X^20 + X^3 + 1
+    0x200005,    // m=21: X^21 + X^2 + 1
+    0x400003,    // m=22: X^22 + X + 1
+    0x800021,    // m=23: X^23 + X^5 + 1
+    0x100001B,   // m=24: X^24 + X^4 + X^3 + X + 1
+    0x2000009,   // m=25: X^25 + X^3 + 1
+    0x4000047,   // m=26: X^26 + X^6 + X^2 + X + 1
+    0x8000027,   // m=27: X^27 + X^5 + X^2 + X + 1
+    0x10000009,  // m=28: X^28 + X^3 + 1
+    0x20000005,  // m=29: X^29 + X^2 + 1
+    0x40000053,  // m=30: X^30 + X^6 + X^4 + X + 1
+    0x80000009,  // m=31: X^31 + X^3 + 1
+    0x1000000AF, // m=32: X^32 + X^7 + X^5 + X^3 + X^2 + X + 1
+};
+
+}  // namespace
+
+GF2m::GF2m(int m) : m_(m), modulus_(kIrreducible[m]) {
+  assert(m >= 1 && m <= 32);
+}
+
+std::uint64_t GF2m::mul(std::uint64_t a, std::uint64_t b) const {
+  assert(a < order() && b < order());
+  // Carry-less multiply then reduce. Operands < 2^32, product < 2^64.
+  std::uint64_t prod = 0;
+  for (std::uint64_t x = a, y = b; y != 0; y >>= 1, x <<= 1) {
+    if (y & 1) prod ^= x;
+  }
+  // Reduce modulo the degree-m irreducible polynomial.
+  for (int d = 2 * (m_ - 1); d >= m_; --d) {
+    if (prod >> d & 1) prod ^= modulus_ << (d - m_);
+  }
+  return prod;
+}
+
+void GF2m::mul_matrix(std::uint64_t x, std::uint64_t rows[]) const {
+  std::uint64_t basis_image = x;  // image of X^0 * x
+  for (int i = 0; i < m_; ++i) {
+    rows[i] = basis_image;
+    // Multiply by X and reduce.
+    basis_image <<= 1;
+    if (basis_image >> m_ & 1) basis_image ^= modulus_;
+  }
+}
+
+}  // namespace dcolor

@@ -1,0 +1,47 @@
+// Arithmetic in the binary field GF(2^m), 1 <= m <= 32.
+//
+// Used by the paper-exact pairwise-independent hash family (Lemma 2.5 /
+// Theorem 2.4): h_{a,c}(x) = a*x + c evaluated in GF(2^m) gives, over a
+// uniformly random seed (a,c), pairwise-independent uniform values.
+//
+// Elements are polynomials over GF(2) stored bit-packed in a uint64_t
+// (bit i = coefficient of X^i), reduced modulo a fixed irreducible
+// polynomial of degree m.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+namespace dcolor {
+
+class GF2m {
+ public:
+  explicit GF2m(int m);
+
+  int m() const { return m_; }
+  std::uint64_t order() const { return std::uint64_t{1} << m_; }
+
+  std::uint64_t add(std::uint64_t a, std::uint64_t b) const { return a ^ b; }
+
+  std::uint64_t mul(std::uint64_t a, std::uint64_t b) const;
+
+  // a*x + c  (the affine hash evaluation).
+  std::uint64_t affine(std::uint64_t a, std::uint64_t x, std::uint64_t c) const {
+    return mul(a, x) ^ c;
+  }
+
+  // Multiplication by a fixed element x is GF(2)-linear in the other
+  // operand: returns the m x m matrix M_x (row i = image of basis X^i),
+  // rows bit-packed. Used to express hash outputs as affine functions of
+  // the seed bits for exact conditional expectations.
+  void mul_matrix(std::uint64_t x, std::uint64_t rows[/*m*/]) const;
+
+  // The irreducible modulus, with the X^m term included (bit m set).
+  std::uint64_t modulus() const { return modulus_; }
+
+ private:
+  int m_;
+  std::uint64_t modulus_;
+};
+
+}  // namespace dcolor

@@ -1,0 +1,90 @@
+#include "src/gf2/linalg.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace dcolor {
+
+bool GF2System::add_equation(std::uint64_t mask, int rhs) {
+  if (!consistent_) return false;
+  for (const Row& r : rows_) {
+    if (mask >> r.pivot & 1) {
+      mask ^= r.mask;
+      rhs ^= r.rhs;
+    }
+  }
+  if (mask == 0) {
+    if (rhs != 0) consistent_ = false;
+    return consistent_;
+  }
+  int pivot = 63;
+  while (!(mask >> pivot & 1)) --pivot;
+  rows_.push_back(Row{mask, rhs, pivot});
+  return true;
+}
+
+namespace {
+
+// Adds the branch equations "y agrees with t on MSB bits 0..p-1 and bit p
+// of y is 0 (while bit p of t is 1)" to `sys`. Returns false on
+// inconsistency. Bits of t are addressed MSB-first to match AffineWord.
+bool add_prefix_branch(GF2System& sys, const AffineWord& y, std::uint64_t t, int p) {
+  for (int q = 0; q < p; ++q) {
+    const int tq = static_cast<int>(t >> (y.width - 1 - q) & 1);
+    const int cq = static_cast<int>(y.consts >> q & 1);
+    if (!sys.add_equation(y.masks[q], tq ^ cq)) return false;
+  }
+  const int cp = static_cast<int>(y.consts >> p & 1);
+  return sys.add_equation(y.masks[p], 0 ^ cp);
+}
+
+std::uint64_t free_vars_mask(const AffineWord& y1, const AffineWord* y2) {
+  std::uint64_t m = 0;
+  for (std::uint64_t v : y1.masks) m |= v;
+  if (y2 != nullptr) {
+    for (std::uint64_t v : y2->masks) m |= v;
+  }
+  return m;
+}
+
+}  // namespace
+
+long double prob_below(const AffineWord& y, std::uint64_t t) {
+  assert(y.width >= 1 && y.width <= 64);
+  if (t == 0) return 0.0L;
+  if (y.width < 64 && t >= (std::uint64_t{1} << y.width)) return 1.0L;
+  const int nfree = __builtin_popcountll(free_vars_mask(y, nullptr));
+  long double total = 0.0L;
+  for (int p = 0; p < y.width; ++p) {
+    if (!(t >> (y.width - 1 - p) & 1)) continue;
+    GF2System sys;
+    if (!add_prefix_branch(sys, y, t, p)) continue;
+    // Solution count 2^(nfree - rank), probability 2^(-rank).
+    total += ldexpl(1.0L, -sys.rank());
+    (void)nfree;
+  }
+  return total;
+}
+
+long double prob_below_pair(const AffineWord& y1, std::uint64_t t1, const AffineWord& y2,
+                            std::uint64_t t2) {
+  if (t1 == 0 || t2 == 0) return 0.0L;
+  if (y1.width < 64 && t1 >= (std::uint64_t{1} << y1.width)) return prob_below(y2, t2);
+  if (y2.width < 64 && t2 >= (std::uint64_t{1} << y2.width)) return prob_below(y1, t1);
+  long double total = 0.0L;
+  for (int p1 = 0; p1 < y1.width; ++p1) {
+    if (!(t1 >> (y1.width - 1 - p1) & 1)) continue;
+    // Pre-eliminate y1's branch once, then extend per y2-branch.
+    GF2System base;
+    if (!add_prefix_branch(base, y1, t1, p1)) continue;
+    for (int p2 = 0; p2 < y2.width; ++p2) {
+      if (!(t2 >> (y2.width - 1 - p2) & 1)) continue;
+      GF2System sys = base;  // copy; ranks are small so this is cheap
+      if (!add_prefix_branch(sys, y2, t2, p2)) continue;
+      total += ldexpl(1.0L, -sys.rank());
+    }
+  }
+  return total;
+}
+
+}  // namespace dcolor

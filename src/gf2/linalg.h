@@ -1,0 +1,88 @@
+// GF(2) linear algebra over bit-packed vectors of up to 64 variables.
+//
+// The derandomizer for the paper-exact GF(2^m) hash family must evaluate,
+// for an edge {u,v}, probabilities of the form
+//
+//   Pr[ h_S(i) < t1  and  h_S(j) < t2 | some seed bits already fixed ]
+//
+// where each output bit of (h_S(i), h_S(j)) is an affine function of the
+// remaining free seed bits. Such threshold events decompose into disjoint
+// "branch" events (prefix equalities), each an affine system whose
+// solution count is 2^(free - rank) when consistent. This header provides
+// the affine-form bookkeeping and the exact probability computation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dcolor {
+
+// One affine form over at most 64 GF(2) variables: value = <mask, s> ^ c.
+struct AffineForm {
+  std::uint64_t mask = 0;
+  int constant = 0;
+
+  // Substitute variable `var` := bit. Removes the variable from the form.
+  void substitute(int var, int bit) {
+    if (mask >> var & 1) {
+      mask &= ~(std::uint64_t{1} << var);
+      constant ^= bit;
+    }
+  }
+  bool is_constant() const { return mask == 0; }
+};
+
+// A width-w vector of affine forms: y_j = <masks[j], s> ^ (consts >> j & 1),
+// j = 0..w-1 with j indexing from the MOST significant bit of the output
+// value (so y_0 is the MSB). Represents a hash output as a function of the
+// free seed bits.
+struct AffineWord {
+  int width = 0;
+  std::vector<std::uint64_t> masks;  // size == width
+  std::uint64_t consts = 0;          // bit j (LSB-first in this word) = constant of y_j
+
+  void substitute(int var, int bit) {
+    const std::uint64_t vbit = std::uint64_t{1} << var;
+    for (int j = 0; j < width; ++j) {
+      if (masks[j] & vbit) {
+        masks[j] &= ~vbit;
+        if (bit) consts ^= std::uint64_t{1} << j;
+      }
+    }
+  }
+};
+
+// Incremental GF(2) Gaussian elimination over <=64 variables.
+// add_equation returns false if the system became inconsistent.
+class GF2System {
+ public:
+  bool add_equation(std::uint64_t mask, int rhs);
+  int rank() const { return static_cast<int>(rows_.size()); }
+  bool consistent() const { return consistent_; }
+  void reset() {
+    rows_.clear();
+    consistent_ = true;
+  }
+
+ private:
+  struct Row {
+    std::uint64_t mask;
+    int rhs;
+    int pivot;
+  };
+  std::vector<Row> rows_;
+  bool consistent_ = true;
+};
+
+// Pr[ value(y) < t ] where y is the `w`-bit value described by `y_aff`
+// (MSB-first forms) and the free variables (those appearing in any mask,
+// `nfree` of them conceptually) are uniform. The probability is exact as a
+// dyadic rational; returned as long double (exact for rank <= 63).
+long double prob_below(const AffineWord& y_aff, std::uint64_t t);
+
+// Pr[ value(y1) < t1 and value(y2) < t2 ] with (y1,y2) jointly affine in
+// the same free variables.
+long double prob_below_pair(const AffineWord& y1, std::uint64_t t1, const AffineWord& y2,
+                            std::uint64_t t2);
+
+}  // namespace dcolor

@@ -1,0 +1,165 @@
+#include "src/graph/generators.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+#include "src/util/rng.h"
+
+namespace dcolor {
+
+Graph make_path(NodeId n) {
+  std::vector<std::pair<NodeId, NodeId>> e;
+  for (NodeId i = 0; i + 1 < n; ++i) e.emplace_back(i, i + 1);
+  return Graph::from_edges(n, std::move(e));
+}
+
+Graph make_cycle(NodeId n) {
+  assert(n >= 3);
+  std::vector<std::pair<NodeId, NodeId>> e;
+  for (NodeId i = 0; i < n; ++i) e.emplace_back(i, (i + 1) % n);
+  return Graph::from_edges(n, std::move(e));
+}
+
+Graph make_complete(NodeId n) {
+  std::vector<std::pair<NodeId, NodeId>> e;
+  for (NodeId i = 0; i < n; ++i)
+    for (NodeId j = i + 1; j < n; ++j) e.emplace_back(i, j);
+  return Graph::from_edges(n, std::move(e));
+}
+
+Graph make_star(NodeId n) {
+  std::vector<std::pair<NodeId, NodeId>> e;
+  for (NodeId i = 1; i < n; ++i) e.emplace_back(0, i);
+  return Graph::from_edges(n, std::move(e));
+}
+
+Graph make_grid(NodeId rows, NodeId cols) {
+  std::vector<std::pair<NodeId, NodeId>> e;
+  auto id = [cols](NodeId r, NodeId c) { return r * cols + c; };
+  for (NodeId r = 0; r < rows; ++r) {
+    for (NodeId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) e.emplace_back(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) e.emplace_back(id(r, c), id(r + 1, c));
+    }
+  }
+  return Graph::from_edges(rows * cols, std::move(e));
+}
+
+Graph make_complete_bipartite(NodeId a, NodeId b) {
+  std::vector<std::pair<NodeId, NodeId>> e;
+  for (NodeId i = 0; i < a; ++i)
+    for (NodeId j = 0; j < b; ++j) e.emplace_back(i, a + j);
+  return Graph::from_edges(a + b, std::move(e));
+}
+
+Graph make_binary_tree(NodeId n) {
+  std::vector<std::pair<NodeId, NodeId>> e;
+  for (NodeId i = 1; i < n; ++i) e.emplace_back((i - 1) / 2, i);
+  return Graph::from_edges(n, std::move(e));
+}
+
+Graph make_path_of_cliques(NodeId num_cliques, NodeId clique_size) {
+  std::vector<std::pair<NodeId, NodeId>> e;
+  const NodeId n = num_cliques * clique_size;
+  for (NodeId k = 0; k < num_cliques; ++k) {
+    const NodeId base = k * clique_size;
+    for (NodeId i = 0; i < clique_size; ++i)
+      for (NodeId j = i + 1; j < clique_size; ++j) e.emplace_back(base + i, base + j);
+    if (k + 1 < num_cliques) {
+      // Connect the "last" node of clique k to the "first" of clique k+1.
+      e.emplace_back(base + clique_size - 1, base + clique_size);
+    }
+  }
+  return Graph::from_edges(n, std::move(e));
+}
+
+Graph make_caterpillar(NodeId spine, NodeId legs) {
+  std::vector<std::pair<NodeId, NodeId>> e;
+  const NodeId n = spine + spine * legs;
+  for (NodeId i = 0; i + 1 < spine; ++i) e.emplace_back(i, i + 1);
+  for (NodeId i = 0; i < spine; ++i)
+    for (NodeId l = 0; l < legs; ++l) e.emplace_back(i, spine + i * legs + l);
+  return Graph::from_edges(n, std::move(e));
+}
+
+Graph make_gnp(NodeId n, double p, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::pair<NodeId, NodeId>> e;
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = i + 1; j < n; ++j) {
+      if (rng.next_double() < p) e.emplace_back(i, j);
+    }
+  }
+  return Graph::from_edges(n, std::move(e));
+}
+
+Graph make_near_regular(NodeId n, int d, std::uint64_t seed) {
+  assert(d >= 1);
+  Rng rng(seed);
+  std::vector<std::pair<NodeId, NodeId>> e;
+  std::vector<NodeId> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  auto shuffle = [&] {
+    for (NodeId i = n - 1; i > 0; --i) {
+      std::swap(perm[i], perm[rng.next_below(static_cast<std::uint64_t>(i) + 1)]);
+    }
+  };
+  // d/2 Hamiltonian cycles (degree 2 each) plus one matching if d is odd:
+  // max degree <= d (deduplication can only lower it).
+  for (int round = 0; round < d / 2; ++round) {
+    shuffle();
+    for (NodeId i = 0; i < n; ++i) e.emplace_back(perm[i], perm[(i + 1) % n]);
+  }
+  if (d % 2 == 1) {
+    shuffle();
+    for (NodeId i = 0; i + 1 < n; i += 2) e.emplace_back(perm[i], perm[i + 1]);
+  }
+  return Graph::from_edges(n, std::move(e));
+}
+
+Graph make_clustered(NodeId num_clusters, NodeId cluster_size, double intra_p,
+                     NodeId backbone_edges, std::uint64_t seed) {
+  Rng rng(seed);
+  const NodeId n = num_clusters * cluster_size;
+  std::vector<std::pair<NodeId, NodeId>> e;
+  for (NodeId k = 0; k < num_clusters; ++k) {
+    const NodeId base = k * cluster_size;
+    for (NodeId i = 0; i < cluster_size; ++i) {
+      for (NodeId j = i + 1; j < cluster_size; ++j) {
+        if (rng.next_double() < intra_p) e.emplace_back(base + i, base + j);
+      }
+    }
+    // Keep each cluster connected with a path.
+    for (NodeId i = 0; i + 1 < cluster_size; ++i) e.emplace_back(base + i, base + i + 1);
+    if (k + 1 < num_clusters) e.emplace_back(base, base + cluster_size);  // chain backbone
+  }
+  for (NodeId b = 0; b < backbone_edges; ++b) {
+    const NodeId u = static_cast<NodeId>(rng.next_below(n));
+    const NodeId v = static_cast<NodeId>(rng.next_below(n));
+    if (u != v) e.emplace_back(u, v);
+  }
+  return Graph::from_edges(n, std::move(e));
+}
+
+Graph make_preferential_attachment(NodeId n, int edges_per_node, std::uint64_t seed) {
+  assert(n >= 2 && edges_per_node >= 1);
+  Rng rng(seed);
+  std::vector<std::pair<NodeId, NodeId>> e;
+  std::vector<NodeId> targets;  // node repeated once per incident edge
+  e.emplace_back(0, 1);
+  targets.push_back(0);
+  targets.push_back(1);
+  for (NodeId v = 2; v < n; ++v) {
+    for (int k = 0; k < edges_per_node; ++k) {
+      const NodeId u = targets[rng.next_below(targets.size())];
+      if (u == v) continue;
+      e.emplace_back(u, v);
+      targets.push_back(u);
+      targets.push_back(v);
+    }
+  }
+  return Graph::from_edges(n, std::move(e));
+}
+
+}  // namespace dcolor

@@ -1,0 +1,40 @@
+// Deterministic and seeded graph generators for experiments and tests.
+//
+// Each generator documents the structural knobs it exposes (n, Δ, D, ...)
+// because the benchmarks sweep exactly those parameters (EXPERIMENTS.md).
+#pragma once
+
+#include <cstdint>
+
+#include "src/graph/graph.h"
+
+namespace dcolor {
+
+// Simple deterministic families.
+Graph make_path(NodeId n);
+Graph make_cycle(NodeId n);
+Graph make_complete(NodeId n);
+Graph make_star(NodeId n);                 // center 0, Δ = n-1, D = 2
+Graph make_grid(NodeId rows, NodeId cols); // Δ <= 4, D = rows+cols-2
+Graph make_complete_bipartite(NodeId a, NodeId b);
+Graph make_binary_tree(NodeId n);          // Δ <= 3, D ~ 2 log n
+// "Path of cliques": k cliques of size s connected in a chain by single
+// edges. Δ = s, D ~ 3k. The workhorse for the E4 diameter sweep because
+// Δ and D can be set independently.
+Graph make_path_of_cliques(NodeId num_cliques, NodeId clique_size);
+// Caterpillar: path of length `spine` with `legs` pendant nodes each.
+Graph make_caterpillar(NodeId spine, NodeId legs);
+
+// Seeded families (deterministic given the seed).
+Graph make_gnp(NodeId n, double p, std::uint64_t seed);
+// d-regular-ish graph via permutation matchings (may have slightly
+// irregular degrees after simplification; max degree <= d).
+Graph make_near_regular(NodeId n, int d, std::uint64_t seed);
+// Disjoint dense clusters joined by a sparse random backbone: the shape
+// the network-decomposition experiments care about.
+Graph make_clustered(NodeId num_clusters, NodeId cluster_size, double intra_p,
+                     NodeId backbone_edges, std::uint64_t seed);
+// Power-law-ish degree sequence via preferential attachment.
+Graph make_preferential_attachment(NodeId n, int edges_per_node, std::uint64_t seed);
+
+}  // namespace dcolor

@@ -1,0 +1,26 @@
+// Graph and coloring I/O: DOT export for visual inspection of colorings
+// and decompositions, and a plain edge-list format for moving instances
+// between runs.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace dcolor {
+
+// Graphviz DOT. If `colors` is provided, nodes are labeled "id:color" and
+// get one of a rotating palette of fill colors per color class.
+void write_dot(std::ostream& os, const Graph& g,
+               const std::vector<std::int64_t>* colors = nullptr);
+
+// Plain text: first line "n m", then one "u v" line per edge.
+void write_edge_list(std::ostream& os, const Graph& g);
+
+// Parses the write_edge_list format; returns nullopt on malformed input.
+std::optional<Graph> read_edge_list(std::istream& is);
+
+}  // namespace dcolor

@@ -1,0 +1,419 @@
+#include "src/mpc/mpc_coloring.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "src/coloring/segment_derand.h"
+#include "src/mpc/primitives.h"
+#include "src/util/bits.h"
+
+namespace dcolor::mpc {
+namespace {
+
+// Splits an exchange with the given per-machine loads into as many rounds
+// as the S-word budget requires.
+void charged_exchange(MpcSystem& sys, const std::vector<std::int64_t>& out,
+                      const std::vector<std::int64_t>& in) {
+  const std::int64_t S = sys.memory_words();
+  std::int64_t max_load = 1;
+  for (std::int64_t x : out) max_load = std::max(max_load, x);
+  for (std::int64_t x : in) max_load = std::max(max_load, x);
+  const std::int64_t rounds = (max_load + S - 1) / S;
+  for (std::int64_t r = 0; r < rounds; ++r) {
+    for (int i = 0; i < sys.num_machines(); ++i) {
+      const std::int64_t o = std::clamp<std::int64_t>(out[i] - r * S, 0, S);
+      const std::int64_t rcv = std::clamp<std::int64_t>(in[i] - r * S, 0, S);
+      if (o > 0 || rcv > 0) sys.load(i, o, rcv);
+    }
+    sys.advance_round();
+  }
+}
+
+// Shared core of both regimes.
+struct Shared {
+  const Graph* g;
+  ListInstance* inst;
+  MpcSystem* sys;
+  AggregationTree* tree;
+  std::vector<int> machine_of;  // node -> home machine (linear) / first machine
+  int W;                        // color bits
+  int w;                        // id bits
+};
+
+// One commit cycle: fix all W candidate bits (one per pass), then commit
+// nodes with <= 1 conflict. Returns the number of newly colored nodes and
+// accumulates pass counts.
+NodeId commit_cycle(Shared& sh, std::vector<bool>& active, std::vector<Color>& colors,
+                    int* derand_passes, int rounds_per_exchange) {
+  const Graph& g = *sh.g;
+  const NodeId n = g.num_nodes();
+  MpcSystem& sys = *sh.sys;
+
+  std::vector<std::vector<NodeId>> conflict(n);
+  int delta_c = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    if (!active[v]) continue;
+    for (NodeId u : g.neighbors(v)) {
+      if (active[u]) conflict[v].push_back(u);
+    }
+    delta_c = std::max(delta_c, static_cast<int>(conflict[v].size()));
+    sh.inst->trim_list(v, conflict[v].size() + 1);
+  }
+  const int b = std::max(4, ceil_log2(10ull * std::max(delta_c, 1) *
+                                      (std::max(delta_c, 1) + 1) * std::max(sh.W, 1)));
+  const int lam = std::max(
+      1, std::min<int>(sh.w + 1, floor_log2(static_cast<std::uint64_t>(sys.memory_words()))));
+
+  std::vector<int> range_lo(n, 0), range_hi(n, 0);
+  for (NodeId v = 0; v < n; ++v) range_hi[v] = static_cast<int>(sh.inst->list(v).size());
+
+  for (int ell = 0; ell < sh.W; ++ell) {
+    ++*derand_passes;
+    // Subrange counts (k0, k1) per node + interval bounds.
+    std::vector<MultiwaySpec> specs(n);
+    std::vector<int> splits(n, 0);
+    for (NodeId v = 0; v < n; ++v) {
+      specs[v].active = active[v];
+      specs[v].id = static_cast<std::uint64_t>(v);
+      if (!active[v]) continue;
+      const auto& L = sh.inst->list(v);
+      const auto first1 = std::partition_point(
+          L.begin() + range_lo[v], L.begin() + range_hi[v], [&](Color c) {
+            return msb_bit(static_cast<std::uint64_t>(c), ell, sh.W) == 0;
+          });
+      splits[v] = static_cast<int>(first1 - L.begin());
+      specs[v].counts = {splits[v] - range_lo[v], range_hi[v] - splits[v]};
+      specs[v].bounds = multiway_bounds(specs[v].counts, b);
+    }
+
+    // Exchange (k1, |L|) across edge partners: 2 words per directed edge.
+    {
+      std::vector<std::int64_t> out(sys.num_machines(), 0), in(sys.num_machines(), 0);
+      for (NodeId v = 0; v < n; ++v) {
+        if (!active[v]) continue;
+        out[sh.machine_of[v]] += 2 * static_cast<std::int64_t>(conflict[v].size());
+        for (NodeId u : conflict[v]) in[sh.machine_of[u]] += 2;
+      }
+      charged_exchange(sys, out, in);
+      sys.tick(rounds_per_exchange - 1);  // per-node aggregation trees (sublinear)
+    }
+
+    // Segment derandomization: one aggregation + one broadcast per segment.
+    SegmentDerandResult der =
+        segment_derand_step(specs, conflict, sh.w, b, lam, [&] {
+          std::vector<std::uint64_t> zero(sys.num_machines(), 0);
+          sh.tree->aggregate(sys, zero,
+                             [](std::uint64_t a, std::uint64_t c) { return a + c; }, 2);
+          sh.tree->broadcast(sys, 1);
+        });
+
+    // Apply digits locally (counts and seed are public to edge partners).
+    for (NodeId v = 0; v < n; ++v) {
+      if (!active[v]) continue;
+      if (der.selected[v] == 0) {
+        range_hi[v] = splits[v];
+      } else {
+        range_lo[v] = splits[v];
+      }
+    }
+    std::vector<int> digit = der.selected;
+    for (NodeId v = 0; v < n; ++v) {
+      if (!active[v]) continue;
+      std::erase_if(conflict[v], [&](NodeId u) { return digit[u] != digit[v]; });
+    }
+  }
+
+  // Commit: <=1 conflict, higher id wins; announce + prune (one exchange).
+  std::vector<NodeId> newly;
+  for (NodeId v = 0; v < n; ++v) {
+    if (!active[v]) continue;
+    assert(range_hi[v] - range_lo[v] == 1);
+    if (conflict[v].empty() || (conflict[v].size() == 1 && v > conflict[v][0])) {
+      newly.push_back(v);
+    }
+  }
+  if (newly.empty()) {
+    throw MpcViolation("MPC coloring made no progress (potential bound violated)");
+  }
+  {
+    std::vector<std::int64_t> out(sys.num_machines(), 0), in(sys.num_machines(), 0);
+    for (NodeId v : newly) {
+      colors[v] = sh.inst->list(v)[range_lo[v]];
+      out[sh.machine_of[v]] += static_cast<std::int64_t>(g.degree(v));
+      for (NodeId u : g.neighbors(v)) in[sh.machine_of[u]] += 1;
+    }
+    charged_exchange(sys, out, in);
+  }
+  for (NodeId v : newly) active[v] = false;
+  for (NodeId v : newly) {
+    for (NodeId u : g.neighbors(v)) {
+      if (active[u]) sh.inst->remove_color(u, colors[v]);
+    }
+  }
+  return static_cast<NodeId>(newly.size());
+}
+
+// Lemma 4.2: one multiway pass chooses a full color per node (fanout =
+// whole list, unit counts); repeated until everyone is colored.
+NodeId lemma42_pass(Shared& sh, std::vector<bool>& active, std::vector<Color>& colors) {
+  const Graph& g = *sh.g;
+  const NodeId n = g.num_nodes();
+  MpcSystem& sys = *sh.sys;
+
+  std::vector<std::vector<NodeId>> conflict(n);
+  int delta_c = 0;
+  std::size_t max_list = 1;
+  for (NodeId v = 0; v < n; ++v) {
+    if (!active[v]) continue;
+    for (NodeId u : g.neighbors(v)) {
+      if (active[u]) conflict[v].push_back(u);
+    }
+    delta_c = std::max(delta_c, static_cast<int>(conflict[v].size()));
+    sh.inst->trim_list(v, conflict[v].size() + 1);
+    max_list = std::max(max_list, sh.inst->list(v).size());
+  }
+  const int b = std::max(
+      4, ceil_log2(10ull * std::max(delta_c, 1) * (std::max(delta_c, 1) + 1) *
+                   static_cast<std::uint64_t>(std::max<std::size_t>(max_list, 2))));
+  const int lam = std::max(
+      1, std::min<int>(sh.w + 1, floor_log2(static_cast<std::uint64_t>(sys.memory_words()))));
+
+  std::vector<MultiwaySpec> specs(n);
+  for (NodeId v = 0; v < n; ++v) {
+    specs[v].active = active[v];
+    specs[v].id = static_cast<std::uint64_t>(v);
+    if (!active[v]) continue;
+    specs[v].counts.assign(sh.inst->list(v).size(), 1);
+    specs[v].bounds = multiway_bounds(specs[v].counts, b);
+  }
+  // Edge machines need both endpoint lists (Lemma 4.2's Omega(n Delta^2)
+  // total memory assumption): list-sized exchange.
+  {
+    std::vector<std::int64_t> out(sys.num_machines(), 0), in(sys.num_machines(), 0);
+    for (NodeId v = 0; v < n; ++v) {
+      if (!active[v]) continue;
+      const std::int64_t lv = static_cast<std::int64_t>(sh.inst->list(v).size());
+      out[sh.machine_of[v]] += lv * static_cast<std::int64_t>(conflict[v].size());
+      for (NodeId u : conflict[v]) in[sh.machine_of[u]] += lv;
+    }
+    charged_exchange(sys, out, in);
+  }
+
+  // Conflicts occur on equal COLOR VALUES (not equal list indices): the
+  // derandomization objective is E[#conflicts] = sum over edges and over
+  // common colors of Pr[both endpoints pick that color]. Precompute the
+  // matching index pairs per directed edge (sorted-list merge).
+  std::vector<std::vector<std::vector<ConflictPair>>> pairs(n);
+  for (NodeId v = 0; v < n; ++v) {
+    if (!active[v]) continue;
+    pairs[v].resize(conflict[v].size());
+    const auto& Lv = sh.inst->list(v);
+    for (std::size_t j = 0; j < conflict[v].size(); ++j) {
+      const auto& Lu = sh.inst->list(conflict[v][j]);
+      std::size_t a = 0, c = 0;
+      while (a < Lv.size() && c < Lu.size()) {
+        if (Lv[a] < Lu[c]) {
+          ++a;
+        } else if (Lv[a] > Lu[c]) {
+          ++c;
+        } else {
+          pairs[v][j].push_back(
+              ConflictPair{static_cast<int>(a), static_cast<int>(c), 1.0L});
+          ++a;
+          ++c;
+        }
+      }
+    }
+  }
+  const EdgePairsFn pairs_fn = [&](NodeId v, std::size_t j) -> const std::vector<ConflictPair>& {
+    return pairs[v][j];
+  };
+
+  SegmentDerandResult der = segment_derand_step(
+      specs, conflict, sh.w, b, lam,
+      [&] {
+        std::vector<std::uint64_t> zero(sys.num_machines(), 0);
+        sh.tree->aggregate(sys, zero, [](std::uint64_t a, std::uint64_t c) { return a + c; },
+                           2);
+        sh.tree->broadcast(sys, 1);
+      },
+      pairs_fn);
+  std::vector<Color> trial(n, kUncolored);
+  for (NodeId v = 0; v < n; ++v) {
+    if (active[v]) trial[v] = sh.inst->list(v)[der.selected[v]];
+  }
+  std::vector<NodeId> newly;
+  for (NodeId v = 0; v < n; ++v) {
+    if (!active[v]) continue;
+    int conflicts = 0;
+    NodeId rival = -1;
+    for (NodeId u : conflict[v]) {
+      if (trial[u] == trial[v]) {
+        ++conflicts;
+        rival = u;
+      }
+    }
+    if (conflicts == 0 || (conflicts == 1 && v > rival)) newly.push_back(v);
+  }
+  if (newly.empty()) {
+    throw MpcViolation("Lemma 4.2 pass made no progress");
+  }
+  {
+    std::vector<std::int64_t> out(sys.num_machines(), 0), in(sys.num_machines(), 0);
+    for (NodeId v : newly) {
+      colors[v] = trial[v];
+      out[sh.machine_of[v]] += static_cast<std::int64_t>(g.degree(v));
+      for (NodeId u : g.neighbors(v)) in[sh.machine_of[u]] += 1;
+    }
+    charged_exchange(sys, out, in);
+  }
+  for (NodeId v : newly) active[v] = false;
+  for (NodeId v : newly) {
+    for (NodeId u : g.neighbors(v)) {
+      if (active[u]) sh.inst->remove_color(u, colors[v]);
+    }
+  }
+  return static_cast<NodeId>(newly.size());
+}
+
+MpcColoringResult run(const Graph& g, ListInstance inst, std::int64_t S, bool linear) {
+  const NodeId n = g.num_nodes();
+  MpcColoringResult res;
+  res.colors.assign(n, kUncolored);
+  if (n == 0) return res;
+
+  // Machine count: Theta((m + n + total list size)/S), at least 1.
+  std::int64_t input_words = 2 * n;
+  for (NodeId v = 0; v < n; ++v) {
+    input_words += 2 * g.degree(v) + static_cast<std::int64_t>(inst.list(v).size());
+  }
+  const int M = static_cast<int>(std::max<std::int64_t>(1, (4 * input_words + S - 1) / S));
+  MpcSystem sys(M, S);
+  AggregationTree tree(sys);
+  res.num_machines = M;
+  res.memory_words = S;
+
+  // Input layout: sort edges and list entries to co-locate per node
+  // (linear) / to contiguous machines (sublinear). Charged via mpc_sort.
+  {
+    Sharded records(M);
+    int mi = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      for (NodeId u : g.neighbors(v)) {
+        records[mi].push_back(Record{static_cast<std::uint64_t>(v),
+                                     static_cast<std::uint64_t>(u)});
+        mi = (mi + 1) % M;
+      }
+      for (Color c : inst.list(v)) {
+        records[mi].push_back(Record{static_cast<std::uint64_t>(v),
+                                     static_cast<std::uint64_t>(c) | (1ull << 40)});
+        mi = (mi + 1) % M;
+      }
+    }
+    mpc_sort(sys, records);
+  }
+  // Home machine per node: bin-packed by data size (in the linear regime
+  // a node's full data must fit one machine).
+  std::vector<int> machine_of(n, 0);
+  {
+    std::int64_t used = 0;
+    int cur = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      const std::int64_t need = 2 * g.degree(v) + static_cast<std::int64_t>(inst.list(v).size());
+      if (linear) sys.check_storage(cur, need);
+      if (used + need > S && cur + 1 < M) {
+        cur = (cur + 1) % M;
+        used = 0;
+      }
+      machine_of[v] = cur;
+      used += need;
+    }
+  }
+
+  Shared sh{&g, &inst, &sys, &tree, machine_of, inst.color_bits(),
+            ceil_log2(std::max<std::uint64_t>(static_cast<std::uint64_t>(n), 2))};
+  std::vector<bool> active(n, true);
+  NodeId uncolored = n;
+  const int delta = std::max(g.max_degree(), 2);
+  const int rounds_per_exchange = linear ? 1 : std::max(1, tree.depth());
+
+  while (uncolored > 0) {
+    if (linear) {
+      // Final stage: residual fits one machine once <= n/Delta^2 nodes
+      // (then <= n/Delta edges) remain.
+      std::int64_t residual_words = 0;
+      for (NodeId v = 0; v < n; ++v) {
+        if (!active[v]) continue;
+        residual_words += static_cast<std::int64_t>(inst.list(v).size());
+        for (NodeId u : g.neighbors(v)) residual_words += active[u] ? 2 : 0;
+      }
+      if (uncolored <= std::max<NodeId>(1, n / (delta * delta)) && residual_words <= S) {
+        res.finished_on_one_machine = true;
+        std::vector<std::int64_t> out(M, 0), in(M, 0);
+        for (NodeId v = 0; v < n; ++v) {
+          if (!active[v]) continue;
+          std::int64_t words = static_cast<std::int64_t>(inst.list(v).size());
+          for (NodeId u : g.neighbors(v)) words += active[u] ? 2 : 0;
+          out[machine_of[v]] += words;
+        }
+        in[0] = residual_words;
+        charged_exchange(sys, out, in);
+        sys.check_storage(0, residual_words);
+        for (NodeId v = 0; v < n; ++v) {
+          if (!active[v]) continue;
+          for (Color c : inst.list(v)) {
+            bool taken = false;
+            for (NodeId u : g.neighbors(v)) taken |= res.colors[u] == c;
+            if (!taken) {
+              res.colors[v] = c;
+              break;
+            }
+          }
+          assert(res.colors[v] != kUncolored);
+          active[v] = false;
+        }
+        sys.tick(1);  // distribute the output
+        uncolored = 0;
+        break;
+      }
+    } else {
+      // Sublinear finisher (Lemma 4.2) when Delta < n^{alpha/2}: the paper
+      // runs O(log Delta) constant-fraction cycles and then switches.
+      const double alpha_cap = std::sqrt(static_cast<double>(S));
+      const int cycles_budget = std::max(1, ceil_log2(static_cast<std::uint64_t>(delta)) / 2);
+      if (static_cast<double>(delta) < alpha_cap &&
+          (uncolored <= std::max<NodeId>(1, n / (delta * delta)) ||
+           res.commit_cycles >= cycles_budget)) {
+        while (uncolored > 0) {
+          ++res.lemma42_passes;
+          uncolored -= lemma42_pass(sh, active, res.colors);
+        }
+        break;
+      }
+    }
+    ++res.commit_cycles;
+    uncolored -= commit_cycle(sh, active, res.colors, &res.derand_passes, rounds_per_exchange);
+  }
+  res.metrics = sys.metrics();
+  return res;
+}
+
+}  // namespace
+
+MpcColoringResult mpc_list_coloring_linear(const Graph& g, ListInstance inst) {
+  const std::int64_t S =
+      std::max<std::int64_t>(64, 4 * (static_cast<std::int64_t>(g.num_nodes()) +
+                                      g.max_degree() + 8));
+  return run(g, std::move(inst), S, /*linear=*/true);
+}
+
+MpcColoringResult mpc_list_coloring_sublinear(const Graph& g, ListInstance inst, double alpha) {
+  const double nn = std::max(4.0, static_cast<double>(g.num_nodes()));
+  std::int64_t S = static_cast<std::int64_t>(std::pow(nn, alpha));
+  // A machine must at least hold one node's record plus constant state.
+  S = std::max<std::int64_t>(S, 4 * (g.max_degree() + 8));
+  return run(g, std::move(inst), S, /*linear=*/false);
+}
+
+}  // namespace dcolor::mpc

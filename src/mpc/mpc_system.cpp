@@ -1,0 +1,58 @@
+#include "src/mpc/mpc_system.h"
+
+#include <algorithm>
+#include <string>
+
+namespace dcolor::mpc {
+
+MpcSystem::MpcSystem(int num_machines, std::int64_t memory_words)
+    : m_(num_machines), s_(memory_words) {
+  if (m_ < 1 || s_ < 4) throw MpcViolation("degenerate MPC configuration");
+  sent_.assign(m_, 0);
+  received_.assign(m_, 0);
+}
+
+void MpcSystem::send(int from, int to, std::int64_t words) {
+  if (from < 0 || from >= m_ || to < 0 || to >= m_) throw MpcViolation("bad machine id");
+  if (words < 0) throw MpcViolation("negative words");
+  sent_[from] += words;
+  received_[to] += words;
+  metrics_.words_communicated += words;
+}
+
+void MpcSystem::load(int machine, std::int64_t sent_words, std::int64_t received_words) {
+  if (machine < 0 || machine >= m_) throw MpcViolation("bad machine id");
+  if (sent_words < 0 || received_words < 0) throw MpcViolation("negative words");
+  sent_[machine] += sent_words;
+  received_[machine] += received_words;
+  metrics_.words_communicated += sent_words;
+}
+
+void MpcSystem::advance_round() {
+  for (int i = 0; i < m_; ++i) {
+    if (sent_[i] > s_) {
+      throw MpcViolation("machine " + std::to_string(i) + " sent " + std::to_string(sent_[i]) +
+                         " > S=" + std::to_string(s_) + " words");
+    }
+    if (received_[i] > s_) {
+      throw MpcViolation("machine " + std::to_string(i) + " received " +
+                         std::to_string(received_[i]) + " > S=" + std::to_string(s_) +
+                         " words");
+    }
+    metrics_.max_round_load = std::max({metrics_.max_round_load, sent_[i], received_[i]});
+    sent_[i] = 0;
+    received_[i] = 0;
+  }
+  ++metrics_.rounds;
+}
+
+void MpcSystem::tick(std::int64_t rounds) { metrics_.rounds += rounds; }
+
+void MpcSystem::check_storage(int machine, std::int64_t words) const {
+  if (words > s_) {
+    throw MpcViolation("machine " + std::to_string(machine) + " stores " +
+                       std::to_string(words) + " > S=" + std::to_string(s_) + " words");
+  }
+}
+
+}  // namespace dcolor::mpc

@@ -1,0 +1,72 @@
+// MPC (massively parallel computation) simulator [KSV10, ANOY14].
+//
+// M machines, each with a memory of S words (a word = O(log n) bits).
+// Per synchronous round every machine may send and receive at most S
+// words; local computation is free. The simulator tracks storage and
+// per-round communication and throws on violations, so the reported
+// round counts certify that no step exceeded the memory regime
+// (linear S = Theta(n) for Theorem 1.4, sublinear S = Theta(n^alpha) for
+// Theorem 1.5).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace dcolor::mpc {
+
+class MpcViolation : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct MpcMetrics {
+  std::int64_t rounds = 0;
+  std::int64_t words_communicated = 0;
+  std::int64_t max_round_load = 0;  // max words sent or received by one machine in a round
+};
+
+class MpcSystem {
+ public:
+  MpcSystem(int num_machines, std::int64_t memory_words);
+
+  int num_machines() const { return m_; }
+  std::int64_t memory_words() const { return s_; }
+
+  // Stage `words` words from machine `from` to machine `to` this round.
+  // The payload itself is tracked only as a count: the algorithms in this
+  // library keep the actual records in their own (per-machine) containers
+  // and use the system purely for honest cost accounting of every
+  // exchange. (Keeping the bytes twice would double simulation memory for
+  // no additional fidelity: the budgets are what the model constrains.)
+  void send(int from, int to, std::int64_t words);
+
+  // Register this round's load on one machine directly (sent and received
+  // word counts) when the traffic pattern is described in aggregate
+  // rather than message-by-message.
+  void load(int machine, std::int64_t sent_words, std::int64_t received_words);
+
+  // Finish the round: validates that every machine sent and received at
+  // most S words, then advances time.
+  void advance_round();
+
+  // Charge `rounds` rounds whose constant-size bookkeeping traffic is
+  // folded into a primitive's documented cost (e.g. the [GSZ11] sorting
+  // network internals).
+  void tick(std::int64_t rounds);
+
+  // Declare the current storage of a machine; throws if it exceeds S.
+  void check_storage(int machine, std::int64_t words) const;
+
+  const MpcMetrics& metrics() const { return metrics_; }
+
+ private:
+  int m_;
+  std::int64_t s_;
+  std::vector<std::int64_t> sent_;
+  std::vector<std::int64_t> received_;
+  MpcMetrics metrics_;
+};
+
+}  // namespace dcolor::mpc

@@ -1,0 +1,194 @@
+#include "src/mpc/primitives.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dcolor::mpc {
+namespace {
+
+// Validates storage and returns total record count.
+std::int64_t total_records(MpcSystem& sys, const Sharded& data) {
+  std::int64_t total = 0;
+  for (int i = 0; i < static_cast<int>(data.size()); ++i) {
+    sys.check_storage(i, static_cast<std::int64_t>(data[i].size()) * 2);  // 2 words/record
+    total += static_cast<std::int64_t>(data[i].size());
+  }
+  return total;
+}
+
+}  // namespace
+
+void mpc_sort(MpcSystem& sys, Sharded& data) {
+  const int m = static_cast<int>(data.size());
+  const std::int64_t total = total_records(sys, data);
+  // Charge the communication of the [Goo99]-style constant-round sort:
+  // every record crosses machines a constant number of times. We charge
+  // one full redistribution's worth of traffic per sort round.
+  std::vector<Record> all;
+  all.reserve(static_cast<std::size_t>(total));
+  for (auto& shard : data) {
+    for (const Record& r : shard) all.push_back(r);
+  }
+  std::sort(all.begin(), all.end());
+  const std::int64_t per = (total + m - 1) / std::max(m, 1);
+  Sharded out(m);
+  std::int64_t idx = 0;
+  for (int i = 0; i < m; ++i) {
+    const std::int64_t take = std::min<std::int64_t>(per, total - idx);
+    for (std::int64_t k = 0; k < take; ++k) out[i].push_back(all[idx + k]);
+    idx += take;
+  }
+  // Account: each machine ships out its old shard and receives its new one.
+  for (int r = 0; r < kSortRounds; ++r) {
+    for (int i = 0; i < m; ++i) {
+      const std::int64_t load =
+          2 * static_cast<std::int64_t>(std::max(data[i].size(), out[i].size()));
+      // Words traverse between machines; model as a balanced exchange.
+      sys.send(i, (i + 1) % std::max(m, 1), load / kSortRounds + 1);
+    }
+    sys.advance_round();
+  }
+  data = std::move(out);
+  total_records(sys, data);
+}
+
+void mpc_prefix(MpcSystem& sys, Sharded& data,
+                const std::function<std::uint64_t(std::uint64_t, std::uint64_t)>& op) {
+  const int m = static_cast<int>(data.size());
+  // Local prefix per machine; machine totals combined; offsets applied.
+  std::vector<std::uint64_t> machine_total(m, 0);
+  std::vector<bool> has(m, false);
+  for (int i = 0; i < m; ++i) {
+    std::uint64_t acc = 0;
+    bool first = true;
+    for (Record& r : data[i]) {
+      acc = first ? r.value : op(acc, r.value);
+      first = false;
+      r.value = acc;
+    }
+    machine_total[i] = acc;
+    has[i] = !first;
+  }
+  // The machine-level prefix travels through one round of exchange.
+  for (int r = 0; r < kPrefixRounds; ++r) {
+    for (int i = 0; i + 1 < m; ++i) sys.send(i, i + 1, 1);
+    sys.advance_round();
+  }
+  std::uint64_t carry = 0;
+  bool have_carry = false;
+  for (int i = 0; i < m; ++i) {
+    if (have_carry) {
+      for (Record& r : data[i]) r.value = op(carry, r.value);
+    }
+    if (has[i]) {
+      // The last record of machine i already holds the global prefix up
+      // to and including this shard.
+      carry = data[i].back().value;
+      have_carry = true;
+    }
+  }
+}
+
+std::vector<std::vector<bool>> mpc_set_membership(MpcSystem& sys, const Sharded& A,
+                                                  const Sharded& B) {
+  const int m = static_cast<int>(std::max(A.size(), B.size()));
+  total_records(sys, const_cast<Sharded&>(A));
+  total_records(sys, const_cast<Sharded&>(B));
+  // B-tree lookup structure (Lemma 5.1's A-tree/B-tree walk): we charge
+  // the constant-round cost and bound per-machine traffic by its shard.
+  std::vector<Record> ball;
+  for (const auto& shard : B) {
+    for (const Record& r : shard) ball.push_back(r);
+  }
+  std::sort(ball.begin(), ball.end());
+  std::vector<std::vector<bool>> out(A.size());
+  for (int r = 0; r < kSetDiffRounds; ++r) {
+    for (int i = 0; i < m; ++i) {
+      const std::int64_t load =
+          static_cast<std::int64_t>(i < static_cast<int>(A.size()) ? A[i].size() : 0);
+      sys.send(i, (i * 7 + 1) % std::max(m, 1), load / kSetDiffRounds + 1);
+    }
+    sys.advance_round();
+  }
+  for (std::size_t i = 0; i < A.size(); ++i) {
+    out[i].resize(A[i].size());
+    for (std::size_t k = 0; k < A[i].size(); ++k) {
+      out[i][k] = std::binary_search(ball.begin(), ball.end(), A[i][k]);
+    }
+  }
+  return out;
+}
+
+AggregationTree::AggregationTree(MpcSystem& sys) {
+  const int m = sys.num_machines();
+  degree_ = std::max(2, static_cast<int>(std::sqrt(static_cast<double>(sys.memory_words()))));
+  parent_.assign(m, -1);
+  depth_ = 0;
+  // Implicit degree_-ary tree over machine ids.
+  for (int i = 1; i < m; ++i) parent_[i] = (i - 1) / degree_;
+  for (int i = 0; i < m; ++i) {
+    int d = 0;
+    for (int v = i; parent_[v] >= 0; v = parent_[v]) ++d;
+    depth_ = std::max(depth_, d);
+  }
+}
+
+std::uint64_t AggregationTree::aggregate(
+    MpcSystem& sys, const std::vector<std::uint64_t>& per_machine,
+    const std::function<std::uint64_t(std::uint64_t, std::uint64_t)>& op,
+    std::int64_t words_per_value) const {
+  const int m = static_cast<int>(parent_.size());
+  std::vector<std::uint64_t> acc = per_machine;
+  std::vector<int> level(m, 0);
+  int maxlev = 0;
+  for (int i = 0; i < m; ++i) {
+    int d = 0;
+    for (int v = i; parent_[v] >= 0; v = parent_[v]) ++d;
+    level[i] = d;
+    maxlev = std::max(maxlev, d);
+  }
+  for (int lev = maxlev; lev >= 1; --lev) {
+    for (int i = 0; i < m; ++i) {
+      if (level[i] != lev) continue;
+      sys.send(i, parent_[i], words_per_value);
+      acc[parent_[i]] = op(acc[parent_[i]], acc[i]);
+    }
+    sys.advance_round();
+  }
+  return acc.empty() ? 0 : acc[0];
+}
+
+void AggregationTree::broadcast(MpcSystem& sys, std::int64_t words) const {
+  const int m = static_cast<int>(parent_.size());
+  for (int lev = 0; lev < depth_; ++lev) {
+    for (int i = 0; i < m; ++i) {
+      if (parent_[i] < 0) continue;
+      sys.send(parent_[i], i, words);
+    }
+    sys.advance_round();
+  }
+  if (depth_ == 0) sys.tick(1);  // single machine: the "broadcast" is local
+}
+
+std::vector<std::vector<std::int64_t>> mpc_group_ranks(MpcSystem& sys, Sharded& data) {
+  mpc_sort(sys, data);
+  sys.tick(kPrefixRounds);
+  std::vector<std::vector<std::int64_t>> ranks(data.size());
+  std::int64_t run = 0;
+  std::uint64_t cur_key = 0;
+  bool first = true;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    ranks[i].resize(data[i].size());
+    for (std::size_t k = 0; k < data[i].size(); ++k) {
+      if (first || data[i][k].key != cur_key) {
+        run = 0;
+        cur_key = data[i][k].key;
+        first = false;
+      }
+      ranks[i][k] = run++;
+    }
+  }
+  return ranks;
+}
+
+}  // namespace dcolor::mpc

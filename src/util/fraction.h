@@ -1,0 +1,78 @@
+// Exact non-negative rational arithmetic on 64/128-bit integers.
+//
+// The derandomization engine compares conditional expectations of the
+// potential function Phi (sums of terms of the form a/b with small b).
+// Floating point would risk breaking the "good bit" guarantee of
+// Lemma 2.6 through rounding; Fraction keeps every comparison exact.
+#pragma once
+
+#include <cassert>
+#include <compare>
+#include <cstdint>
+#include <numeric>
+
+namespace dcolor {
+
+class Fraction {
+ public:
+  constexpr Fraction() : num_(0), den_(1) {}
+  constexpr Fraction(std::int64_t num, std::int64_t den) : num_(num), den_(den) {
+    assert(den != 0);
+    normalize();
+  }
+  static constexpr Fraction from_int(std::int64_t v) { return Fraction(v, 1); }
+
+  constexpr std::int64_t num() const { return num_; }
+  constexpr std::int64_t den() const { return den_; }
+
+  constexpr Fraction operator+(const Fraction& o) const {
+    const std::int64_t g = std::gcd(den_, o.den_);
+    return Fraction(num_ * (o.den_ / g) + o.num_ * (den_ / g), (den_ / g) * o.den_);
+  }
+  constexpr Fraction operator-(const Fraction& o) const {
+    const std::int64_t g = std::gcd(den_, o.den_);
+    return Fraction(num_ * (o.den_ / g) - o.num_ * (den_ / g), (den_ / g) * o.den_);
+  }
+  constexpr Fraction operator*(const Fraction& o) const {
+    // Cross-cancel first to keep intermediates small.
+    const std::int64_t g1 = std::gcd(num_ < 0 ? -num_ : num_, o.den_);
+    const std::int64_t g2 = std::gcd(o.num_ < 0 ? -o.num_ : o.num_, den_);
+    return Fraction((num_ / g1) * (o.num_ / g2), (den_ / g2) * (o.den_ / g1));
+  }
+  constexpr Fraction& operator+=(const Fraction& o) { return *this = *this + o; }
+  constexpr Fraction& operator-=(const Fraction& o) { return *this = *this - o; }
+
+  constexpr bool operator==(const Fraction& o) const {
+    return num_ == o.num_ && den_ == o.den_;
+  }
+  constexpr std::strong_ordering operator<=>(const Fraction& o) const {
+    const __int128 lhs = static_cast<__int128>(num_) * o.den_;
+    const __int128 rhs = static_cast<__int128>(o.num_) * den_;
+    if (lhs < rhs) return std::strong_ordering::less;
+    if (lhs > rhs) return std::strong_ordering::greater;
+    return std::strong_ordering::equal;
+  }
+
+  constexpr double to_double() const {
+    return static_cast<double>(num_) / static_cast<double>(den_);
+  }
+
+ private:
+  constexpr void normalize() {
+    if (den_ < 0) {
+      num_ = -num_;
+      den_ = -den_;
+    }
+    const std::int64_t g = std::gcd(num_ < 0 ? -num_ : num_, den_);
+    if (g > 1) {
+      num_ /= g;
+      den_ /= g;
+    }
+    if (num_ == 0) den_ = 1;
+  }
+
+  std::int64_t num_;
+  std::int64_t den_;
+};
+
+}  // namespace dcolor

@@ -1,0 +1,23 @@
+#include "src/util/prime.h"
+
+#include <cassert>
+
+namespace dcolor {
+
+bool is_prime(std::uint64_t x) {
+  if (x < 2) return false;
+  if (x % 2 == 0) return x == 2;
+  if (x % 3 == 0) return x == 3;
+  for (std::uint64_t d = 5; d * d <= x; d += 6) {
+    if (x % d == 0 || x % (d + 2) == 0) return false;
+  }
+  return true;
+}
+
+std::uint64_t next_prime(std::uint64_t x) {
+  assert(x >= 2);
+  while (!is_prime(x)) ++x;
+  return x;
+}
+
+}  // namespace dcolor

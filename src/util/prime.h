@@ -1,0 +1,13 @@
+// Small prime utilities (used by Linial's coloring construction).
+#pragma once
+
+#include <cstdint>
+
+namespace dcolor {
+
+bool is_prime(std::uint64_t x);
+
+// Smallest prime >= x (x >= 2).
+std::uint64_t next_prime(std::uint64_t x);
+
+}  // namespace dcolor

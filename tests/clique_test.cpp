@@ -1,0 +1,120 @@
+// CONGESTED CLIQUE simulator and Theorem 1.3 algorithm tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/clique/clique_coloring.h"
+#include "src/clique/clique_network.h"
+#include "src/coloring/theorem11.h"
+#include "src/graph/generators.h"
+#include "src/graph/properties.h"
+
+namespace dcolor {
+namespace {
+
+using clique::CliqueNetwork;
+using clique::CliqueViolation;
+
+TEST(CliqueNetworkTest, UnicastDelivery) {
+  CliqueNetwork net(4);
+  net.send(0, 1, 7, 3);
+  net.send(0, 2, 9, 4);  // different messages to different nodes: allowed
+  net.send(3, 1, 1, 1);
+  net.advance_round();
+  EXPECT_EQ(net.inbox(1).size(), 2u);
+  EXPECT_EQ(net.inbox(2).size(), 1u);
+  EXPECT_EQ(net.metrics().rounds, 1);
+}
+
+TEST(CliqueNetworkTest, RejectsSelfAndDuplicates) {
+  CliqueNetwork net(3);
+  EXPECT_THROW(net.send(1, 1, 0, 1), CliqueViolation);
+  net.send(0, 1, 1, 1);
+  EXPECT_THROW(net.send(0, 1, 2, 2), CliqueViolation);
+}
+
+TEST(CliqueNetworkTest, RejectsOversized) {
+  CliqueNetwork net(4, 8);
+  EXPECT_THROW(net.send(0, 1, 0, 9), CliqueViolation);
+  EXPECT_THROW(net.send(0, 1, 511, 4), CliqueViolation);
+}
+
+TEST(CliqueNetworkTest, LenzenRoutingWithinBudget) {
+  CliqueNetwork net(4);
+  std::vector<CliqueNetwork::RoutedMessage> msgs;
+  for (NodeId u = 0; u < 4; ++u) {
+    for (int k = 0; k < 4; ++k) msgs.push_back({u, static_cast<NodeId>((u + 1) % 4), 5, 3});
+  }
+  net.route(msgs);
+  EXPECT_EQ(net.metrics().rounds, clique::kLenzenRounds);
+  EXPECT_EQ(net.inbox(1).size(), 4u);
+}
+
+TEST(CliqueNetworkTest, OverBudgetChargesBatches) {
+  CliqueNetwork net(4);
+  std::vector<CliqueNetwork::RoutedMessage> msgs;
+  for (int k = 0; k < 9; ++k) msgs.push_back({0, 1, 1, 1});  // 9 > n=4: 3 batches
+  net.route(msgs);
+  EXPECT_EQ(net.metrics().rounds, 3 * clique::kLenzenRounds);
+}
+
+class CliqueColoringTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CliqueColoringTest, ColorsValidly) {
+  Graph g;
+  switch (GetParam()) {
+    case 0: g = make_cycle(32); break;
+    case 1: g = make_complete(12); break;
+    case 2: g = make_grid(6, 8); break;
+    case 3: g = make_gnp(48, 0.12, 5); break;
+    case 4: g = make_path_of_cliques(8, 4); break;
+    case 5: g = make_star(24); break;
+    case 6: g = make_gnp(64, 0.05, 9); break;
+    default: g = make_path(8);
+  }
+  auto inst = ListInstance::delta_plus_one(g);
+  const ListInstance pristine = inst;
+  auto res = clique::clique_list_coloring(g, std::move(inst));
+  EXPECT_TRUE(pristine.valid_solution(res.colors)) << GetParam();
+  EXPECT_LE(res.metrics.max_message_bits, 2 * 7 + 16);
+}
+
+INSTANTIATE_TEST_SUITE_P(Graphs, CliqueColoringTest, ::testing::Range(0, 7));
+
+TEST(CliqueColoring, RandomLists) {
+  auto g = make_gnp(40, 0.15, 8);
+  auto inst = ListInstance::random_lists(g, 4 * (g.max_degree() + 1), 3);
+  const ListInstance pristine = inst;
+  auto res = clique::clique_list_coloring(g, std::move(inst));
+  EXPECT_TRUE(pristine.valid_solution(res.colors));
+}
+
+TEST(CliqueColoring, Deterministic) {
+  auto g = make_gnp(32, 0.2, 4);
+  auto a = clique::clique_list_coloring(g, ListInstance::delta_plus_one(g));
+  auto b = clique::clique_list_coloring(g, ListInstance::delta_plus_one(g));
+  EXPECT_EQ(a.colors, b.colors);
+  EXPECT_EQ(a.metrics.rounds, b.metrics.rounds);
+}
+
+TEST(CliqueColoring, BeatsCongestOnHighDiameter) {
+  // The clique removes the D factor entirely: on a long path the clique
+  // algorithm must finish in far fewer rounds than Theorem 1.1.
+  auto g = make_path(192);
+  auto cres = clique::clique_list_coloring(g, ListInstance::delta_plus_one(g));
+  auto t11 = theorem11_solve(g, ListInstance::delta_plus_one(g));
+  EXPECT_LT(cres.metrics.rounds * 10, t11.metrics.rounds);
+}
+
+TEST(CliqueColoring, TrivialGraphs) {
+  auto g1 = Graph::from_edges(1, {});
+  auto r1 = clique::clique_list_coloring(g1, ListInstance::delta_plus_one(g1));
+  EXPECT_EQ(r1.colors[0], 0);
+
+  auto g2 = make_path(2);
+  auto r2 = clique::clique_list_coloring(g2, ListInstance::delta_plus_one(g2));
+  EXPECT_NE(r2.colors[0], r2.colors[1]);
+}
+
+}  // namespace
+}  // namespace dcolor

@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "src/congest/bfs_tree.h"
+#include "src/congest/network.h"
+#include "src/graph/generators.h"
+#include "src/graph/properties.h"
+
+namespace dcolor {
+namespace {
+
+using congest::BfsTree;
+using congest::CongestViolation;
+using congest::Network;
+
+TEST(Network, DeliversAfterRound) {
+  auto g = make_path(3);
+  Network net(g);
+  net.send(0, 1, 42, 6);
+  EXPECT_TRUE(net.inbox(1).empty());
+  net.advance_round();
+  ASSERT_EQ(net.inbox(1).size(), 1u);
+  EXPECT_EQ(net.inbox(1)[0].from, 0);
+  EXPECT_EQ(net.inbox(1)[0].payload, 42u);
+  EXPECT_EQ(net.metrics().rounds, 1);
+  EXPECT_EQ(net.metrics().messages, 1);
+}
+
+TEST(Network, RejectsNonEdge) {
+  auto g = make_path(3);
+  Network net(g);
+  EXPECT_THROW(net.send(0, 2, 1, 1), CongestViolation);
+}
+
+TEST(Network, RejectsOversizedMessage) {
+  auto g = make_path(3);
+  Network net(g, 8);
+  EXPECT_THROW(net.send(0, 1, 0, 9), CongestViolation);
+}
+
+TEST(Network, RejectsUndersizedDeclaration) {
+  auto g = make_path(3);
+  Network net(g);
+  EXPECT_THROW(net.send(0, 1, 255, 4), CongestViolation);  // 255 needs 8 bits
+}
+
+TEST(Network, RejectsDoubleSendSameEdgeSameRound) {
+  auto g = make_path(3);
+  Network net(g);
+  net.send(0, 1, 1, 1);
+  EXPECT_THROW(net.send(0, 1, 2, 2), CongestViolation);
+  // Opposite direction is fine.
+  net.send(1, 0, 3, 2);
+  net.advance_round();
+  // Next round the edge is free again.
+  net.send(0, 1, 1, 1);
+  net.advance_round();
+  EXPECT_EQ(net.metrics().messages, 3);
+}
+
+TEST(Network, BandwidthDefaultIsLogarithmic) {
+  auto g = make_path(1000);
+  Network net(g);
+  EXPECT_GE(net.bandwidth_bits(), 2 * 10);
+  EXPECT_LE(net.bandwidth_bits(), 2 * 10 + 16);
+}
+
+TEST(BfsTreeTest, BuildsCorrectLevels) {
+  auto g = make_path(8);
+  Network net(g);
+  BfsTree t = BfsTree::build(net, 0);
+  EXPECT_EQ(t.depth(), 7);
+  for (NodeId v = 0; v < 8; ++v) EXPECT_EQ(t.levels()[v], v);
+  EXPECT_EQ(t.parent(3), 2);
+  EXPECT_EQ(t.parent(0), -1);
+  // Flooding cost: eccentricity + 1 rounds.
+  EXPECT_EQ(net.metrics().rounds, 8);
+}
+
+TEST(BfsTreeTest, DepthMatchesEccentricityOnGrid) {
+  auto g = make_grid(5, 5);
+  Network net(g);
+  BfsTree t = BfsTree::build(net, 0);
+  auto dist = bfs_distances(g, 0);
+  int ecc = 0;
+  for (int d : dist) ecc = std::max(ecc, d);
+  EXPECT_EQ(t.depth(), ecc);
+}
+
+TEST(BfsTreeTest, AggregateSums) {
+  auto g = make_binary_tree(15);
+  Network net(g);
+  BfsTree t = BfsTree::build(net, 0);
+  std::vector<std::uint64_t> vals(15);
+  std::uint64_t expect = 0;
+  for (int i = 0; i < 15; ++i) {
+    vals[i] = static_cast<std::uint64_t>(i * 3 + 1);
+    expect += vals[i];
+  }
+  const auto before = net.metrics().rounds;
+  const std::uint64_t got =
+      t.aggregate(net, vals, 16, [](std::uint64_t a, std::uint64_t b) { return a + b; });
+  EXPECT_EQ(got, expect);
+  EXPECT_EQ(net.metrics().rounds - before, t.depth());
+}
+
+TEST(BfsTreeTest, AggregateWideValuesChargePipelining) {
+  auto g = make_path(10);
+  Network net(g, 20);
+  BfsTree t = BfsTree::build(net, 0);
+  std::vector<std::uint64_t> vals(10, 1);
+  const auto before = net.metrics().rounds;
+  t.aggregate(net, vals, 64, [](std::uint64_t a, std::uint64_t b) { return a + b; });
+  // 64 bits over 20-bit bandwidth = 4 chunks: depth + 3 rounds.
+  EXPECT_EQ(net.metrics().rounds - before, t.depth() + 3);
+}
+
+TEST(BfsTreeTest, BroadcastReachesAll) {
+  auto g = make_grid(4, 4);
+  Network net(g);
+  BfsTree t = BfsTree::build(net, 0);
+  const auto before = net.metrics().rounds;
+  t.broadcast(net, 1, 1);
+  EXPECT_EQ(net.metrics().rounds - before, t.depth());
+}
+
+TEST(FixedPoint, RoundTrip) {
+  for (long double x : {0.0L, 0.5L, 1.0L / 3.0L, 123.25L, 4095.999L}) {
+    EXPECT_NEAR(static_cast<double>(congest::from_fixed(congest::to_fixed(x))),
+                static_cast<double>(x), 1e-9);
+  }
+}
+
+TEST(FixedPoint, AggregateFixedSumMatches) {
+  auto g = make_cycle(12);
+  Network net(g);
+  BfsTree t = BfsTree::build(net, 0);
+  std::vector<long double> vals(12);
+  long double expect = 0;
+  for (int i = 0; i < 12; ++i) {
+    vals[i] = 1.0L / (i + 1);
+    expect += vals[i];
+  }
+  const long double got = congest::from_fixed(congest::aggregate_fixed_sum(net, t, vals));
+  EXPECT_NEAR(static_cast<double>(got), static_cast<double>(expect), 1e-8);
+}
+
+}  // namespace
+}  // namespace dcolor

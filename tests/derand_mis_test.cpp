@@ -1,0 +1,64 @@
+// Deterministic MIS via the coloring engine's derandomization machinery.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/coloring/derand_mis.h"
+#include "src/coloring/mis.h"
+#include "src/graph/generators.h"
+
+namespace dcolor {
+namespace {
+
+class DerandMisTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DerandMisTest, ProducesValidMis) {
+  Graph g;
+  switch (GetParam()) {
+    case 0: g = make_cycle(64); break;
+    case 1: g = make_path(33); break;
+    case 2: g = make_grid(7, 9); break;
+    case 3: g = make_complete(12); break;
+    case 4: g = make_star(25); break;
+    case 5: g = make_gnp(72, 0.1, 3); break;
+    case 6: g = make_binary_tree(63); break;
+    case 7: g = make_near_regular(64, 6, 5); break;
+    default: g = Graph::from_edges(1, {});
+  }
+  auto res = derandomized_mis(g);
+  InducedSubgraph all(g, std::vector<bool>(g.num_nodes(), true));
+  EXPECT_TRUE(is_mis(all, res.in_mis)) << GetParam();
+  EXPECT_GT(res.iterations, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Graphs, DerandMisTest, ::testing::Range(0, 9));
+
+TEST(DerandMis, Deterministic) {
+  auto g = make_gnp(48, 0.12, 9);
+  auto a = derandomized_mis(g);
+  auto b = derandomized_mis(g);
+  EXPECT_EQ(a.in_mis, b.in_mis);
+  EXPECT_EQ(a.metrics.rounds, b.metrics.rounds);
+}
+
+TEST(DerandMis, IterationBoundLubyA) {
+  // O(Delta log n) iterations for the simple estimator.
+  auto g = make_near_regular(128, 8, 13);
+  auto res = derandomized_mis(g);
+  const double bound = 4.0 * g.max_degree() * std::log2(g.num_nodes()) + 8;
+  EXPECT_LE(res.iterations, static_cast<int>(bound));
+}
+
+TEST(DerandMis, StarPicksLeavesOrCenter) {
+  auto g = make_star(10);
+  auto res = derandomized_mis(g);
+  // Either {center} or all leaves; both are maximal independent sets.
+  if (res.in_mis[0]) {
+    for (NodeId v = 1; v < 10; ++v) EXPECT_FALSE(res.in_mis[v]);
+  } else {
+    for (NodeId v = 1; v < 10; ++v) EXPECT_TRUE(res.in_mis[v]);
+  }
+}
+
+}  // namespace
+}  // namespace dcolor

@@ -1,0 +1,121 @@
+// The sharpest check of Lemma 2.6 we can run: on instances small enough
+// to ENUMERATE THE WHOLE SEED SPACE, the derandomized outcome (following
+// conditional expectations) must be at least as good as the average over
+// all seeds — for every phase, by the method of conditional expectations.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/coloring/pair_prob.h"
+#include "src/hash/bitwise_family.h"
+#include "src/hash/coin_family.h"
+#include "src/hash/gf_family.h"
+#include "src/util/rng.h"
+
+namespace dcolor {
+namespace {
+
+struct TinyPhase {
+  std::vector<CoinSpec> specs;          // per node
+  std::vector<int> k0, k1;              // split sizes per node
+  std::vector<ConflictEdge> edges;
+};
+
+// Potential sum for a full coin assignment: for each surviving edge
+// (equal coins), 1/k_c(u) + 1/k_c(v).
+long double realized_potential(const TinyPhase& ph, const std::vector<int>& coins) {
+  long double phi = 0;
+  for (const ConflictEdge& e : ph.edges) {
+    if (coins[e.u] != coins[e.v]) continue;
+    const int c = coins[e.u];
+    const int ku = c ? ph.k1[e.u] : ph.k0[e.u];
+    const int kv = c ? ph.k1[e.v] : ph.k0[e.v];
+    if (ku > 0) phi += 1.0L / ku;
+    if (kv > 0) phi += 1.0L / kv;
+  }
+  return phi;
+}
+
+void run_case(CoinFamilyKind kind, std::uint64_t trial_seed) {
+  Rng rng(trial_seed);
+  const int n = 5;
+  const std::uint64_t K = 8;
+  const int b = 3;  // GF: seed 6 bits; bitwise: seed 12 bits — enumerable
+  auto fam = make_coin_family(kind, K, b);
+  ASSERT_LE(fam->seed_length(), 16);
+
+  TinyPhase ph;
+  ph.specs.resize(n);
+  ph.k0.resize(n);
+  ph.k1.resize(n);
+  for (int v = 0; v < n; ++v) {
+    ph.k0[v] = 1 + static_cast<int>(rng.next_below(3));
+    ph.k1[v] = static_cast<int>(rng.next_below(4));
+    ph.specs[v].input_color = static_cast<std::uint64_t>(v);
+    ph.specs[v].threshold = threshold_for(static_cast<std::uint64_t>(ph.k1[v]),
+                                          static_cast<std::uint64_t>(ph.k0[v] + ph.k1[v]), b);
+  }
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      if (rng.next_below(2)) ph.edges.push_back(ConflictEdge{u, v});
+    }
+  }
+
+  // Derandomize bit by bit using exact conditional expectations.
+  auto engine = make_generic_pair_prob(*fam);
+  engine->begin_phase(ph.specs, ph.edges);
+  const int d = engine->num_seed_bits();
+  for (int j = 0; j < d; ++j) {
+    long double x0 = 0, x1 = 0;
+    for (std::size_t e = 0; e < ph.edges.size(); ++e) {
+      const JointDist J0 = engine->edge_joint(static_cast<int>(e), 0);
+      const JointDist J1 = engine->edge_joint(static_cast<int>(e), 1);
+      const ConflictEdge& ed = ph.edges[e];
+      for (int c = 0; c < 2; ++c) {
+        const int ku = c ? ph.k1[ed.u] : ph.k0[ed.u];
+        const int kv = c ? ph.k1[ed.v] : ph.k0[ed.v];
+        if (ku > 0) {
+          x0 += J0[c][c] / ku;
+          x1 += J1[c][c] / ku;
+        }
+        if (kv > 0) {
+          x0 += J0[c][c] / kv;
+          x1 += J1[c][c] / kv;
+        }
+      }
+    }
+    engine->fix_next_bit(x0 <= x1 ? 0 : 1);
+  }
+  std::vector<int> derand_coins(n);
+  for (int v = 0; v < n; ++v) derand_coins[v] = engine->coin(v);
+  const long double derand_phi = realized_potential(ph, derand_coins);
+
+  // Brute force: average over ALL seeds.
+  long double total = 0;
+  const std::uint64_t num_seeds = std::uint64_t{1} << d;
+  for (std::uint64_t s = 0; s < num_seeds; ++s) {
+    std::vector<std::uint8_t> bits(d);
+    for (int i = 0; i < d; ++i) bits[i] = static_cast<std::uint8_t>(s >> i & 1);
+    std::vector<int> coins(n);
+    for (int v = 0; v < n; ++v) coins[v] = fam->coin(ph.specs[v], bits);
+    total += realized_potential(ph, coins);
+  }
+  const long double mean = total / num_seeds;
+  EXPECT_LE(static_cast<double>(derand_phi), static_cast<double>(mean) + 1e-12)
+      << "family=" << fam->description() << " trial=" << trial_seed;
+}
+
+class OptimalityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(OptimalityTest, DerandomizedBeatsSeedAverageGF) {
+  run_case(CoinFamilyKind::kGF, 1000 + GetParam());
+}
+
+TEST_P(OptimalityTest, DerandomizedBeatsSeedAverageBitwise) {
+  run_case(CoinFamilyKind::kBitwise, 2000 + GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Trials, OptimalityTest, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace dcolor

@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "src/gf2/gf2m.h"
+#include "src/gf2/linalg.h"
+
+namespace dcolor {
+namespace {
+
+// Verifies the field axioms that matter for the hash family.
+TEST(GF2m, FieldAxiomsSmall) {
+  for (int m = 1; m <= 8; ++m) {
+    GF2m f(m);
+    const std::uint64_t N = f.order();
+    // Associativity + commutativity on a sample; distributivity spot check.
+    for (std::uint64_t a = 0; a < N; ++a) {
+      EXPECT_EQ(f.mul(a, 1), a);
+      EXPECT_EQ(f.mul(a, 0), 0u);
+      for (std::uint64_t b = 0; b < N; ++b) {
+        EXPECT_EQ(f.mul(a, b), f.mul(b, a));
+        EXPECT_LT(f.mul(a, b), N);
+      }
+    }
+  }
+}
+
+// The modulus must be irreducible: multiplication by any nonzero element
+// must be a bijection (no zero divisors).
+TEST(GF2m, NoZeroDivisors) {
+  for (int m = 1; m <= 10; ++m) {
+    GF2m f(m);
+    for (std::uint64_t a = 1; a < f.order(); ++a) {
+      std::vector<bool> seen(f.order(), false);
+      for (std::uint64_t b = 0; b < f.order(); ++b) {
+        const std::uint64_t p = f.mul(a, b);
+        EXPECT_FALSE(seen[p]) << "m=" << m << " a=" << a;
+        seen[p] = true;
+        if (b != 0) {
+          EXPECT_NE(p, 0u);
+        }
+      }
+    }
+  }
+}
+
+// Spot-check larger fields: x * x^{-1}-style sanity via permutation rows.
+TEST(GF2m, LargeFieldSanity) {
+  for (int m : {16, 24, 32}) {
+    GF2m f(m);
+    // 1 is the multiplicative identity; multiplication is linear in each arg.
+    EXPECT_EQ(f.mul(12345 % f.order(), 1), 12345 % f.order());
+    const std::uint64_t a = 0x9E37 % f.order();
+    const std::uint64_t b = 0x1234 % f.order();
+    const std::uint64_t c = 0x0F0F % f.order();
+    EXPECT_EQ(f.mul(a, b ^ c), f.mul(a, b) ^ f.mul(a, c));
+  }
+}
+
+TEST(GF2m, MulMatrixConsistent) {
+  GF2m f(8);
+  std::uint64_t rows[64];
+  for (std::uint64_t x : {std::uint64_t{3}, std::uint64_t{87}, std::uint64_t{255}}) {
+    f.mul_matrix(x, rows);
+    for (std::uint64_t a = 0; a < f.order(); a += 7) {
+      std::uint64_t via_matrix = 0;
+      for (int i = 0; i < 8; ++i) {
+        if (a >> i & 1) via_matrix ^= rows[i];
+      }
+      EXPECT_EQ(via_matrix, f.mul(a, x));
+    }
+  }
+}
+
+TEST(GF2System, RankAndConsistency) {
+  GF2System sys;
+  EXPECT_TRUE(sys.add_equation(0b011, 1));
+  EXPECT_TRUE(sys.add_equation(0b110, 0));
+  EXPECT_EQ(sys.rank(), 2);
+  // 0b101 = 0b011 ^ 0b110 => rhs must be 1.
+  EXPECT_TRUE(sys.add_equation(0b101, 1));
+  EXPECT_EQ(sys.rank(), 2);
+  EXPECT_FALSE(sys.add_equation(0b101, 0));
+  EXPECT_FALSE(sys.consistent());
+}
+
+// prob_below against brute-force enumeration of the free variables.
+TEST(Linalg, ProbBelowBruteForce) {
+  // y is a 4-bit value; 5 free variables; random affine forms.
+  std::uint64_t state = 0xABCDEF12345ull;
+  auto rnd = [&]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  for (int trial = 0; trial < 50; ++trial) {
+    AffineWord y;
+    y.width = 4;
+    y.masks.resize(4);
+    y.consts = rnd() & 0xF;
+    for (int j = 0; j < 4; ++j) y.masks[j] = rnd() & 0x1F;  // 5 vars
+    for (std::uint64_t t = 0; t <= 16; ++t) {
+      long long count = 0;
+      for (std::uint64_t s = 0; s < 32; ++s) {
+        std::uint64_t val = 0;
+        for (int j = 0; j < 4; ++j) {
+          const int bit =
+              (__builtin_popcountll(y.masks[j] & s) & 1) ^ static_cast<int>(y.consts >> j & 1);
+          // j indexes from MSB.
+          val |= static_cast<std::uint64_t>(bit) << (3 - j);
+        }
+        count += (val < t) ? 1 : 0;
+      }
+      const long double expect = static_cast<long double>(count) / 32.0L;
+      EXPECT_NEAR(static_cast<double>(prob_below(y, t)), static_cast<double>(expect), 1e-15)
+          << "trial=" << trial << " t=" << t;
+    }
+  }
+}
+
+TEST(Linalg, ProbBelowPairBruteForce) {
+  std::uint64_t state = 0x5555AAAA1234ull;
+  auto rnd = [&]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  for (int trial = 0; trial < 30; ++trial) {
+    AffineWord y1, y2;
+    y1.width = y2.width = 3;
+    y1.masks.resize(3);
+    y2.masks.resize(3);
+    y1.consts = rnd() & 7;
+    y2.consts = rnd() & 7;
+    for (int j = 0; j < 3; ++j) {
+      y1.masks[j] = rnd() & 0x3F;  // 6 shared vars
+      y2.masks[j] = rnd() & 0x3F;
+    }
+    for (std::uint64_t t1 = 1; t1 <= 8; t1 += 3) {
+      for (std::uint64_t t2 = 1; t2 <= 8; t2 += 2) {
+        long long count = 0;
+        for (std::uint64_t s = 0; s < 64; ++s) {
+          auto value = [&](const AffineWord& y) {
+            std::uint64_t val = 0;
+            for (int j = 0; j < 3; ++j) {
+              const int bit = (__builtin_popcountll(y.masks[j] & s) & 1) ^
+                              static_cast<int>(y.consts >> j & 1);
+              val |= static_cast<std::uint64_t>(bit) << (2 - j);
+            }
+            return val;
+          };
+          count += (value(y1) < t1 && value(y2) < t2) ? 1 : 0;
+        }
+        const long double expect = static_cast<long double>(count) / 64.0L;
+        EXPECT_NEAR(static_cast<double>(prob_below_pair(y1, t1, y2, t2)),
+                    static_cast<double>(expect), 1e-15);
+      }
+    }
+  }
+}
+
+TEST(Linalg, SubstituteReducesVariables) {
+  AffineWord y;
+  y.width = 2;
+  y.masks = {0b101, 0b011};
+  y.consts = 0;
+  y.substitute(0, 1);  // var 0 := 1
+  EXPECT_EQ(y.masks[0], 0b100u);
+  EXPECT_EQ(y.masks[1], 0b010u);
+  EXPECT_EQ(y.consts, 0b11u);  // both forms contained var 0
+}
+
+}  // namespace
+}  // namespace dcolor

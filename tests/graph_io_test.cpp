@@ -1,0 +1,50 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/graph/generators.h"
+#include "src/graph/io.h"
+
+namespace dcolor {
+namespace {
+
+TEST(GraphIo, EdgeListRoundTrip) {
+  auto g = make_gnp(30, 0.2, 4);
+  std::stringstream ss;
+  write_edge_list(ss, g);
+  auto g2 = read_edge_list(ss);
+  ASSERT_TRUE(g2.has_value());
+  EXPECT_EQ(g2->num_nodes(), g.num_nodes());
+  EXPECT_EQ(g2->edge_list(), g.edge_list());
+}
+
+TEST(GraphIo, RejectsMalformed) {
+  std::stringstream a("not a graph");
+  EXPECT_FALSE(read_edge_list(a).has_value());
+  std::stringstream b("3 2\n0 1\n0 9\n");  // endpoint out of range
+  EXPECT_FALSE(read_edge_list(b).has_value());
+  std::stringstream c("3 5\n0 1\n");  // truncated
+  EXPECT_FALSE(read_edge_list(c).has_value());
+}
+
+TEST(GraphIo, DotContainsNodesAndEdges) {
+  auto g = make_cycle(4);
+  std::vector<std::int64_t> colors = {0, 1, 0, 1};
+  std::stringstream ss;
+  write_dot(ss, g, &colors);
+  const std::string dot = ss.str();
+  EXPECT_NE(dot.find("graph G {"), std::string::npos);
+  EXPECT_NE(dot.find("0 -- 1"), std::string::npos);
+  EXPECT_NE(dot.find("3:1"), std::string::npos);
+  EXPECT_NE(dot.find("fillcolor=lightgreen"), std::string::npos);
+}
+
+TEST(GraphIo, DotWithoutColors) {
+  auto g = make_path(3);
+  std::stringstream ss;
+  write_dot(ss, g);
+  EXPECT_NE(ss.str().find("1 -- 2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dcolor

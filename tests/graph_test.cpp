@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "src/graph/generators.h"
+#include "src/graph/graph.h"
+#include "src/graph/properties.h"
+
+namespace dcolor {
+namespace {
+
+TEST(Graph, FromEdgesDedupes) {
+  auto g = Graph::from_edges(4, {{0, 1}, {1, 0}, {1, 2}, {2, 3}, {2, 3}});
+  EXPECT_EQ(g.num_edges(), 3);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_EQ(g.degree(1), 2);
+  EXPECT_EQ(g.max_degree(), 2);
+}
+
+TEST(Graph, EdgeListRoundTrip) {
+  auto g = make_cycle(5);
+  auto edges = g.edge_list();
+  EXPECT_EQ(edges.size(), 5u);
+  auto g2 = Graph::from_edges(5, edges);
+  EXPECT_EQ(g2.num_edges(), 5);
+  for (NodeId v = 0; v < 5; ++v) EXPECT_EQ(g2.degree(v), 2);
+}
+
+TEST(Generators, PathCycleStar) {
+  EXPECT_EQ(make_path(10).num_edges(), 9);
+  EXPECT_EQ(make_cycle(10).num_edges(), 10);
+  EXPECT_EQ(make_star(10).max_degree(), 9);
+  EXPECT_EQ(diameter(make_star(10)), 2);
+  EXPECT_EQ(diameter(make_path(10)), 9);
+}
+
+TEST(Generators, Grid) {
+  auto g = make_grid(4, 6);
+  EXPECT_EQ(g.num_nodes(), 24);
+  EXPECT_EQ(diameter(g), 4 - 1 + 6 - 1);
+  EXPECT_LE(g.max_degree(), 4);
+}
+
+TEST(Generators, PathOfCliques) {
+  auto g = make_path_of_cliques(5, 4);
+  EXPECT_EQ(g.num_nodes(), 20);
+  EXPECT_EQ(g.max_degree(), 4);  // clique degree 3 + 1 bridge
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_GE(diameter(g), 5);  // grows with the number of cliques
+}
+
+TEST(Generators, CompleteBipartite) {
+  auto g = make_complete_bipartite(3, 4);
+  EXPECT_EQ(g.num_edges(), 12);
+  EXPECT_EQ(diameter(g), 2);
+}
+
+TEST(Generators, BinaryTreeConnectedAcyclic) {
+  auto g = make_binary_tree(31);
+  EXPECT_EQ(g.num_edges(), 30);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_LE(g.max_degree(), 3);
+}
+
+TEST(Generators, GnpSeedDeterminism) {
+  auto a = make_gnp(50, 0.2, 9);
+  auto b = make_gnp(50, 0.2, 9);
+  auto c = make_gnp(50, 0.2, 10);
+  EXPECT_EQ(a.edge_list(), b.edge_list());
+  EXPECT_NE(a.edge_list(), c.edge_list());
+}
+
+TEST(Generators, NearRegularDegreeBounds) {
+  auto g = make_near_regular(64, 6, 3);
+  EXPECT_GT(g.num_edges(), 0);
+  // Matchings+cycles: max degree stays close to requested d.
+  EXPECT_LE(g.max_degree(), 6);
+}
+
+TEST(Generators, ClusteredConnected) {
+  auto g = make_clustered(4, 10, 0.5, 5, 1);
+  EXPECT_EQ(g.num_nodes(), 40);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, PreferentialAttachmentSkew) {
+  auto g = make_preferential_attachment(200, 2, 5);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_GT(g.max_degree(), 8);  // hubs emerge
+}
+
+TEST(Properties, BfsDistances) {
+  auto g = make_path(6);
+  auto d = bfs_distances(g, 0);
+  for (int i = 0; i < 6; ++i) EXPECT_EQ(d[i], i);
+}
+
+TEST(Properties, DoubleSweepExactOnTrees) {
+  auto g = make_binary_tree(63);
+  EXPECT_EQ(diameter_double_sweep(g), diameter(g));
+  auto p = make_path(40);
+  EXPECT_EQ(diameter_double_sweep(p), 39);
+}
+
+TEST(Properties, ComponentsAndConnectivity) {
+  auto g = Graph::from_edges(6, {{0, 1}, {2, 3}, {3, 4}});
+  int k = 0;
+  auto comp = connected_components(g, &k);
+  EXPECT_EQ(k, 3);  // {0,1}, {2,3,4}, {5}
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[2], comp[4]);
+  EXPECT_NE(comp[0], comp[2]);
+  EXPECT_FALSE(is_connected(g));
+  EXPECT_EQ(diameter(g), -1);
+}
+
+TEST(Properties, Degeneracy) {
+  EXPECT_EQ(degeneracy(make_complete(5)), 4);
+  EXPECT_EQ(degeneracy(make_cycle(9)), 2);
+  EXPECT_EQ(degeneracy(make_binary_tree(31)), 1);
+  EXPECT_EQ(degeneracy(make_star(10)), 1);
+}
+
+TEST(Properties, ProperColoringCheck) {
+  auto g = make_cycle(4);
+  EXPECT_TRUE(is_proper_coloring(g, {0, 1, 0, 1}));
+  EXPECT_FALSE(is_proper_coloring(g, {0, 1, 1, 0}));
+}
+
+TEST(InducedSubgraphView, DegreesAndRemoval) {
+  auto g = make_complete(5);
+  InducedSubgraph sub(g, std::vector<bool>(5, true));
+  EXPECT_EQ(sub.degree(0), 4);
+  sub.remove(4);
+  EXPECT_EQ(sub.degree(0), 3);
+  int count = 0;
+  sub.for_each_neighbor(0, [&](NodeId) { ++count; });
+  EXPECT_EQ(count, 3);
+  EXPECT_FALSE(sub.contains(4));
+}
+
+}  // namespace
+}  // namespace dcolor

@@ -1,0 +1,99 @@
+// Hash-family validation at realistic parameter sizes, where the seed
+// space cannot be enumerated: fix all but a handful of seed bits along a
+// pseudorandom path and verify the EXACT conditional probabilities
+// against enumeration of the remaining free bits. This exercises exactly
+// the queries the derandomizer issues near the end of a phase — and, by
+// the law of total probability tests, the consistency of the whole chain.
+#include <gtest/gtest.h>
+
+#include "src/hash/bitwise_family.h"
+#include "src/hash/coin_family.h"
+#include "src/hash/gf_family.h"
+#include "src/util/rng.h"
+
+namespace dcolor {
+namespace {
+
+struct LargeCase {
+  CoinFamilyKind kind;
+  std::uint64_t K;
+  int b;
+};
+
+class LargeFamilyTest : public ::testing::TestWithParam<LargeCase> {};
+
+TEST_P(LargeFamilyTest, ConditionalExactnessWithFewFreeBits) {
+  const auto [kind, K, b] = GetParam();
+  auto fam = make_coin_family(kind, K, b);
+  const int d = fam->seed_length();
+  const std::uint64_t full = std::uint64_t{1} << b;
+  Rng rng(42 + d);
+
+  for (int trial = 0; trial < 6; ++trial) {
+    const CoinSpec u{rng.next_below(K), rng.next_below(full + 1)};
+    CoinSpec v{rng.next_below(K), rng.next_below(full + 1)};
+    if (v.input_color == u.input_color) v.input_color = (v.input_color + 1) % K;
+
+    const int free = 10;  // enumerate 2^10 completions
+    std::vector<std::uint8_t> prefix(static_cast<std::size_t>(d - free));
+    for (auto& bit : prefix) bit = static_cast<std::uint8_t>(rng.next_below(2));
+
+    std::uint64_t n1u = 0, n1v = 0, n11 = 0;
+    for (std::uint64_t sfree = 0; sfree < (1u << free); ++sfree) {
+      std::vector<std::uint8_t> bits = prefix;
+      for (int i = 0; i < free; ++i) bits.push_back(static_cast<std::uint8_t>(sfree >> i & 1));
+      const int cu = fam->coin(u, bits);
+      const int cv = fam->coin(v, bits);
+      n1u += cu;
+      n1v += cv;
+      n11 += cu & cv;
+    }
+    const long double denom = 1u << free;
+    EXPECT_NEAR(static_cast<double>(fam->prob_one(u, prefix)),
+                static_cast<double>(n1u / denom), 1e-12)
+        << fam->description() << " trial " << trial;
+    const JointDist J = fam->pair_dist(u, v, prefix);
+    EXPECT_NEAR(static_cast<double>(J[1][1]), static_cast<double>(n11 / denom), 1e-12);
+    EXPECT_NEAR(static_cast<double>(J[0][1]),
+                static_cast<double>((n1v - n11) / denom), 1e-12);
+  }
+}
+
+TEST_P(LargeFamilyTest, LawOfTotalProbabilityAlongFullPath) {
+  const auto [kind, K, b] = GetParam();
+  auto fam = make_coin_family(kind, K, b);
+  const std::uint64_t full = std::uint64_t{1} << b;
+  const CoinSpec u{1, full / 3};
+  const CoinSpec v{K - 2, full - 5};
+  std::vector<std::uint8_t> prefix;
+  Rng rng(7);
+  for (int len = 0; len < fam->seed_length(); ++len) {
+    const long double p = fam->prob_one(u, prefix);
+    prefix.push_back(0);
+    const long double p0 = fam->prob_one(u, prefix);
+    prefix.back() = 1;
+    const long double p1 = fam->prob_one(u, prefix);
+    EXPECT_NEAR(static_cast<double>(p), static_cast<double>((p0 + p1) / 2), 1e-12)
+        << fam->description() << " len " << len;
+    const JointDist J = fam->pair_dist(u, v, prefix);
+    long double total = 0;
+    for (int x = 0; x < 2; ++x)
+      for (int y = 0; y < 2; ++y) {
+        EXPECT_GE(static_cast<double>(J[x][y]), -1e-14);
+        total += J[x][y];
+      }
+    EXPECT_NEAR(static_cast<double>(total), 1.0, 1e-12);
+    prefix.back() = static_cast<std::uint8_t>(rng.next_below(2));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RealisticParams, LargeFamilyTest,
+    ::testing::Values(LargeCase{CoinFamilyKind::kGF, 1 << 12, 14},       // seed 28 bits
+                      LargeCase{CoinFamilyKind::kGF, 1 << 14, 11},       // seed 28 bits
+                      LargeCase{CoinFamilyKind::kBitwise, 1 << 10, 12},  // seed 132 bits
+                      LargeCase{CoinFamilyKind::kBitwise, 1 << 13, 14}   // seed 196 bits
+                      ));
+
+}  // namespace
+}  // namespace dcolor

@@ -1,0 +1,46 @@
+#include <gtest/gtest.h>
+
+#include "src/coloring/mis_reduction.h"
+#include "src/graph/generators.h"
+#include "src/graph/properties.h"
+
+namespace dcolor {
+namespace {
+
+class MisReductionTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MisReductionTest, ProducesProperDegreeBoundedColoring) {
+  Graph g;
+  switch (GetParam()) {
+    case 0: g = make_cycle(20); break;
+    case 1: g = make_path(15); break;
+    case 2: g = make_complete(7); break;
+    case 3: g = make_star(12); break;
+    case 4: g = make_grid(4, 6); break;
+    case 5: g = make_gnp(30, 0.15, 5); break;
+    default: g = Graph::from_edges(2, {{0, 1}});
+  }
+  auto res = mis_reduction_coloring(g);
+  std::vector<int> colors(res.colors.begin(), res.colors.end());
+  EXPECT_TRUE(is_proper_coloring(g, colors)) << GetParam();
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_GE(res.colors[v], 0);
+    EXPECT_LE(res.colors[v], g.degree(v));  // degree+1 palette per node
+  }
+  // Product graph size: sum of deg+1.
+  NodeId expect_hn = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) expect_hn += g.degree(v) + 1;
+  EXPECT_EQ(res.product_nodes, expect_hn);
+}
+
+INSTANTIATE_TEST_SUITE_P(Graphs, MisReductionTest, ::testing::Range(0, 7));
+
+TEST(MisReduction, Deterministic) {
+  auto g = make_gnp(24, 0.2, 8);
+  auto a = mis_reduction_coloring(g);
+  auto b = mis_reduction_coloring(g);
+  EXPECT_EQ(a.colors, b.colors);
+}
+
+}  // namespace
+}  // namespace dcolor

@@ -1,0 +1,201 @@
+// MPC simulator, Section 5 primitives, Theorems 1.4/1.5 and Lemma 4.2.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/graph/generators.h"
+#include "src/graph/properties.h"
+#include "src/mpc/mpc_coloring.h"
+#include "src/mpc/mpc_system.h"
+#include "src/mpc/primitives.h"
+
+namespace dcolor {
+namespace {
+
+using mpc::AggregationTree;
+using mpc::MpcSystem;
+using mpc::MpcViolation;
+using mpc::Record;
+using mpc::Sharded;
+
+TEST(MpcSystemTest, EnforcesPerRoundBudget) {
+  MpcSystem sys(2, 10);
+  sys.send(0, 1, 10);
+  sys.advance_round();
+  sys.send(0, 1, 11);
+  EXPECT_THROW(sys.advance_round(), MpcViolation);
+}
+
+TEST(MpcSystemTest, EnforcesReceiveBudget) {
+  MpcSystem sys(3, 10);
+  sys.send(0, 2, 6);
+  sys.send(1, 2, 6);  // machine 2 receives 12 > 10
+  EXPECT_THROW(sys.advance_round(), MpcViolation);
+}
+
+TEST(MpcSystemTest, StorageCheck) {
+  MpcSystem sys(2, 100);
+  sys.check_storage(0, 100);
+  EXPECT_THROW(sys.check_storage(0, 101), MpcViolation);
+}
+
+TEST(MpcPrimitives, SortGloballyOrdersAndBalances) {
+  MpcSystem sys(4, 64);
+  Sharded data(4);
+  // Reverse-ordered input scattered across machines.
+  for (int k = 100; k > 0; --k) {
+    data[k % 4].push_back(Record{static_cast<std::uint64_t>(k), 0});
+  }
+  mpc_sort(sys, data);
+  std::uint64_t prev = 0;
+  std::int64_t count = 0;
+  for (const auto& shard : data) {
+    EXPECT_LE(shard.size() * 2, 64u);
+    for (const Record& r : shard) {
+      EXPECT_GE(r.key, prev);
+      prev = r.key;
+      ++count;
+    }
+  }
+  EXPECT_EQ(count, 100);
+  EXPECT_EQ(sys.metrics().rounds, mpc::kSortRounds);
+}
+
+TEST(MpcPrimitives, PrefixSums) {
+  MpcSystem sys(3, 64);
+  Sharded data(3);
+  for (int k = 1; k <= 30; ++k) data[(k - 1) / 10].push_back(Record{0, 1});
+  mpc_prefix(sys, data, [](std::uint64_t a, std::uint64_t b) { return a + b; });
+  std::uint64_t expect = 1;
+  for (const auto& shard : data) {
+    for (const Record& r : shard) EXPECT_EQ(r.value, expect++);
+  }
+}
+
+TEST(MpcPrimitives, PrefixMax) {
+  MpcSystem sys(2, 64);
+  Sharded data(2);
+  const std::uint64_t vals[] = {3, 1, 7, 2, 9, 4};
+  for (int k = 0; k < 6; ++k) data[k / 3].push_back(Record{0, vals[k]});
+  mpc_prefix(sys, data, [](std::uint64_t a, std::uint64_t b) { return std::max(a, b); });
+  const std::uint64_t expect[] = {3, 3, 7, 7, 9, 9};
+  int i = 0;
+  for (const auto& shard : data) {
+    for (const Record& r : shard) EXPECT_EQ(r.value, expect[i++]);
+  }
+}
+
+TEST(MpcPrimitives, SetMembership) {
+  MpcSystem sys(2, 64);
+  Sharded A(2), B(2);
+  A[0] = {{1, 10}, {1, 11}};
+  A[1] = {{2, 20}};
+  B[0] = {{1, 11}};
+  B[1] = {{2, 21}};
+  auto memb = mpc_set_membership(sys, A, B);
+  EXPECT_FALSE(memb[0][0]);  // (1,10) not in B
+  EXPECT_TRUE(memb[0][1]);   // (1,11) in B
+  EXPECT_FALSE(memb[1][0]);  // (2,20) not in B
+}
+
+TEST(MpcPrimitives, AggregationTreeSumAndDepth) {
+  MpcSystem sys(20, 16);  // degree ~ sqrt(16) = 4
+  AggregationTree tree(sys);
+  EXPECT_LE(tree.depth(), 3);
+  std::vector<std::uint64_t> vals(20);
+  std::uint64_t expect = 0;
+  for (int i = 0; i < 20; ++i) {
+    vals[i] = static_cast<std::uint64_t>(i);
+    expect += vals[i];
+  }
+  const std::uint64_t got =
+      tree.aggregate(sys, vals, [](std::uint64_t a, std::uint64_t b) { return a + b; });
+  EXPECT_EQ(got, expect);
+  tree.broadcast(sys);
+  EXPECT_GT(sys.metrics().rounds, 0);
+}
+
+TEST(MpcPrimitives, GroupRanks) {
+  MpcSystem sys(3, 64);
+  Sharded data(3);
+  data[0] = {{5, 50}, {7, 71}};
+  data[1] = {{5, 51}, {7, 70}};
+  data[2] = {{5, 52}};
+  auto ranks = mpc_group_ranks(sys, data);
+  // After sorting: key 5 -> values 50,51,52 (ranks 0,1,2); key 7 -> 70,71.
+  std::vector<std::pair<std::uint64_t, std::int64_t>> flat;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    for (std::size_t k = 0; k < data[i].size(); ++k) {
+      flat.emplace_back(data[i][k].value, ranks[i][k]);
+    }
+  }
+  ASSERT_EQ(flat.size(), 5u);
+  EXPECT_EQ(flat[0], (std::pair<std::uint64_t, std::int64_t>{50, 0}));
+  EXPECT_EQ(flat[2], (std::pair<std::uint64_t, std::int64_t>{52, 2}));
+  EXPECT_EQ(flat[3], (std::pair<std::uint64_t, std::int64_t>{70, 0}));
+}
+
+class MpcColoringTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MpcColoringTest, LinearRegimeColorsValidly) {
+  Graph g;
+  switch (GetParam()) {
+    case 0: g = make_cycle(40); break;
+    case 1: g = make_grid(6, 8); break;
+    case 2: g = make_gnp(48, 0.1, 6); break;
+    case 3: g = make_complete(10); break;
+    case 4: g = make_star(30); break;
+    default: g = make_path(12);
+  }
+  auto inst = ListInstance::delta_plus_one(g);
+  const ListInstance pristine = inst;
+  auto res = mpc::mpc_list_coloring_linear(g, std::move(inst));
+  EXPECT_TRUE(pristine.valid_solution(res.colors)) << GetParam();
+  EXPECT_GE(res.num_machines, 1);
+}
+
+TEST_P(MpcColoringTest, SublinearRegimeColorsValidly) {
+  Graph g;
+  switch (GetParam()) {
+    case 0: g = make_cycle(40); break;
+    case 1: g = make_grid(6, 8); break;
+    case 2: g = make_gnp(48, 0.1, 6); break;
+    case 3: g = make_complete(10); break;
+    case 4: g = make_star(30); break;
+    default: g = make_path(12);
+  }
+  auto inst = ListInstance::delta_plus_one(g);
+  const ListInstance pristine = inst;
+  auto res = mpc::mpc_list_coloring_sublinear(g, std::move(inst), 0.6);
+  EXPECT_TRUE(pristine.valid_solution(res.colors)) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Graphs, MpcColoringTest, ::testing::Range(0, 6));
+
+TEST(MpcColoring, RandomLists) {
+  auto g = make_gnp(36, 0.14, 4);
+  auto inst = ListInstance::random_lists(g, 4 * (g.max_degree() + 1), 8);
+  const ListInstance pristine = inst;
+  auto res = mpc::mpc_list_coloring_linear(g, std::move(inst));
+  EXPECT_TRUE(pristine.valid_solution(res.colors));
+}
+
+TEST(MpcColoring, SublinearUsesLemma42OnLowDegree) {
+  // Moderate-degree graph, generous alpha: after O(log Delta) cycles the
+  // Lemma 4.2 finisher must take over and complete the coloring.
+  auto g = make_near_regular(150, 4, 7);
+  auto res = mpc::mpc_list_coloring_sublinear(g, ListInstance::delta_plus_one(g), 0.9);
+  EXPECT_TRUE(ListInstance::delta_plus_one(g).valid_solution(res.colors));
+  EXPECT_GT(res.lemma42_passes, 0);
+}
+
+TEST(MpcColoring, Deterministic) {
+  auto g = make_gnp(32, 0.15, 11);
+  auto a = mpc::mpc_list_coloring_linear(g, ListInstance::delta_plus_one(g));
+  auto b = mpc::mpc_list_coloring_linear(g, ListInstance::delta_plus_one(g));
+  EXPECT_EQ(a.colors, b.colors);
+  EXPECT_EQ(a.metrics.rounds, b.metrics.rounds);
+}
+
+}  // namespace
+}  // namespace dcolor

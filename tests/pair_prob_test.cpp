@@ -1,0 +1,102 @@
+// The fast incremental engine must agree bit-for-bit (up to long-double
+// noise) with the generic CoinFamily-backed engine on every query along
+// arbitrary seed-fixing paths.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/coloring/pair_prob.h"
+#include "src/hash/bitwise_family.h"
+#include "src/util/rng.h"
+
+namespace dcolor {
+namespace {
+
+TEST(FastBitwiseEngine, MatchesGenericOnRandomInstances) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::uint64_t K = 4 + rng.next_below(60);
+    const int b = 2 + static_cast<int>(rng.next_below(6));
+    auto family = make_bitwise_coin_family(K, b);
+    auto generic = make_generic_pair_prob(*family);
+    auto fast = make_fast_bitwise_pair_prob(K, b);
+
+    const int n = 6;
+    std::vector<CoinSpec> specs(n);
+    const std::uint64_t full = std::uint64_t{1} << b;
+    for (int v = 0; v < n; ++v) {
+      // Distinct input colors (adjacent nodes are properly colored).
+      specs[v].input_color = static_cast<std::uint64_t>(v) % K;
+      specs[v].threshold = rng.next_below(full + 1);
+    }
+    // Include forced coins sometimes.
+    if (trial % 3 == 0) specs[0].threshold = 0;
+    if (trial % 4 == 0) specs[1].threshold = full;
+
+    std::vector<ConflictEdge> edges;
+    for (int u = 0; u < n; ++u) {
+      for (int v = u + 1; v < n; ++v) {
+        if (specs[u].input_color != specs[v].input_color) {
+          edges.push_back(ConflictEdge{u, v});
+        }
+      }
+    }
+    generic->begin_phase(specs, edges);
+    fast->begin_phase(specs, edges);
+    ASSERT_EQ(generic->num_seed_bits(), fast->num_seed_bits());
+
+    const int d = generic->num_seed_bits();
+    for (int j = 0; j < d; ++j) {
+      for (std::size_t e = 0; e < edges.size(); ++e) {
+        for (int cand = 0; cand < 2; ++cand) {
+          const JointDist a = generic->edge_joint(static_cast<int>(e), cand);
+          const JointDist f = fast->edge_joint(static_cast<int>(e), cand);
+          for (int x = 0; x < 2; ++x) {
+            for (int y = 0; y < 2; ++y) {
+              ASSERT_NEAR(static_cast<double>(a[x][y]), static_cast<double>(f[x][y]), 1e-12)
+                  << "trial=" << trial << " j=" << j << " e=" << e << " cand=" << cand;
+            }
+          }
+        }
+      }
+      const int bit = static_cast<int>(rng.next_below(2));
+      generic->fix_next_bit(bit);
+      fast->fix_next_bit(bit);
+    }
+    for (int v = 0; v < n; ++v) {
+      EXPECT_EQ(generic->coin(v), fast->coin(v)) << "trial=" << trial << " v=" << v;
+    }
+  }
+}
+
+// Joint distributions must be genuine probability distributions and
+// consistent under conditioning: P(prefix+0)*0.5 + P(prefix+1)*0.5 == P(prefix).
+TEST(FastBitwiseEngine, LawOfTotalProbabilityAlongPath) {
+  const std::uint64_t K = 16;
+  const int b = 4;
+  auto fast = make_fast_bitwise_pair_prob(K, b);
+  std::vector<CoinSpec> specs = {{3, 7}, {12, 11}};
+  std::vector<ConflictEdge> edges = {{0, 1}};
+  fast->begin_phase(specs, edges);
+
+  Rng rng(7);
+  for (int j = 0; j < fast->num_seed_bits(); ++j) {
+    const JointDist j0 = fast->edge_joint(0, 0);
+    const JointDist j1 = fast->edge_joint(0, 1);
+    long double sum0 = 0, sum1 = 0;
+    for (int x = 0; x < 2; ++x) {
+      for (int y = 0; y < 2; ++y) {
+        EXPECT_GE(static_cast<double>(j0[x][y]), -1e-15);
+        EXPECT_GE(static_cast<double>(j1[x][y]), -1e-15);
+        sum0 += j0[x][y];
+        sum1 += j1[x][y];
+      }
+    }
+    EXPECT_NEAR(static_cast<double>(sum0), 1.0, 1e-12);
+    EXPECT_NEAR(static_cast<double>(sum1), 1.0, 1e-12);
+    fast->fix_next_bit(static_cast<int>(rng.next_below(2)));
+  }
+}
+
+}  // namespace
+}  // namespace dcolor

@@ -1,0 +1,109 @@
+// Property sweep: all four models on a grid of (graph family, seed,
+// instance kind) combinations — validity, determinism, list containment,
+// and model-independent agreement on feasibility. This is the broad
+// regression net over the whole library.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "src/clique/clique_coloring.h"
+#include "src/coloring/theorem11.h"
+#include "src/decomposition/corollary12.h"
+#include "src/graph/generators.h"
+#include "src/graph/properties.h"
+#include "src/mpc/mpc_coloring.h"
+
+namespace dcolor {
+namespace {
+
+enum class Family { kGnp, kNearRegular, kGrid, kCliquePath, kPrefAttach };
+enum class Lists { kDeltaPlusOne, kRandomWide, kSharedTight };
+
+struct SweepCase {
+  Family family;
+  Lists lists;
+  std::uint64_t seed;
+};
+
+Graph build_graph(Family f, std::uint64_t seed) {
+  switch (f) {
+    case Family::kGnp:
+      return make_gnp(56, 0.12, seed);
+    case Family::kNearRegular:
+      return make_near_regular(60, 6, seed);
+    case Family::kGrid:
+      return make_grid(6, 9);
+    case Family::kCliquePath:
+      return make_path_of_cliques(9, 5);
+    case Family::kPrefAttach:
+      return make_preferential_attachment(56, 2, seed);
+  }
+  return make_path(8);
+}
+
+ListInstance build_lists(const Graph& g, Lists kind, std::uint64_t seed) {
+  switch (kind) {
+    case Lists::kDeltaPlusOne:
+      return ListInstance::delta_plus_one(g);
+    case Lists::kRandomWide:
+      return ListInstance::random_lists(g, 5 * (g.max_degree() + 1), seed);
+    case Lists::kSharedTight:
+      return ListInstance::shared_pool_lists(g, g.max_degree() + 2, seed);
+  }
+  return ListInstance::delta_plus_one(g);
+}
+
+class SweepTest : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(SweepTest, AllModelsProduceValidDeterministicColorings) {
+  const auto [fam_i, lists_i, seed_i] = GetParam();
+  const Family fam = static_cast<Family>(fam_i);
+  const Lists lk = static_cast<Lists>(lists_i);
+  const std::uint64_t seed = 100 + static_cast<std::uint64_t>(seed_i) * 37;
+
+  const Graph g = build_graph(fam, seed);
+  const ListInstance inst = build_lists(g, lk, seed);
+
+  // CONGEST (per component: sweep families may be disconnected).
+  auto congest_res = theorem11_solve_per_component(g, inst);
+  EXPECT_TRUE(inst.valid_solution(congest_res.colors));
+  auto congest_res2 = theorem11_solve_per_component(g, inst);
+  EXPECT_EQ(congest_res.colors, congest_res2.colors);
+
+  // Corollary 1.2.
+  auto cor = corollary12_solve(g, inst);
+  EXPECT_TRUE(inst.valid_solution(cor.colors));
+
+  // Clique.
+  auto cl = clique::clique_list_coloring(g, inst);
+  EXPECT_TRUE(inst.valid_solution(cl.colors));
+
+  // MPC (linear).
+  auto ml = mpc::mpc_list_coloring_linear(g, inst);
+  EXPECT_TRUE(inst.valid_solution(ml.colors));
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, SweepTest,
+                         ::testing::Combine(::testing::Range(0, 5),   // family
+                                            ::testing::Range(0, 3),   // lists
+                                            ::testing::Range(0, 2))); // seeds
+
+// Round counts are monotone sanity: messages and rounds positive, the
+// bandwidth respected, and per-component metrics consistent.
+TEST(SweepMetrics, MetricsSanity) {
+  auto g = make_gnp(64, 0.1, 5);
+  auto res = theorem11_solve(g, ListInstance::delta_plus_one(g));
+  EXPECT_GT(res.metrics.rounds, 0);
+  EXPECT_GT(res.metrics.messages, 0);
+  EXPECT_GT(res.metrics.total_bits, 0);
+  congest::Network probe(g);
+  EXPECT_LE(res.metrics.max_message_bits, probe.bandwidth_bits());
+  EXPECT_GE(res.input_colors, g.max_degree() + 1);
+  ASSERT_FALSE(res.per_iteration.empty());
+  NodeId accounted = 0;
+  for (const auto& it : res.per_iteration) accounted += it.newly_colored;
+  EXPECT_EQ(accounted, g.num_nodes());
+}
+
+}  // namespace
+}  // namespace dcolor
