@@ -9,27 +9,19 @@
 #include "src/congest/bfs_tree.h"
 #include "src/graph/generators.h"
 #include "src/graph/properties.h"
+#include "tests/test_support.h"
 
 namespace dcolor {
 namespace {
 
-bool proper_on_active(const InducedSubgraph& active, const std::vector<std::int64_t>& col) {
-  const Graph& g = active.base();
-  for (NodeId v = 0; v < g.num_nodes(); ++v) {
-    if (!active.contains(v)) continue;
-    bool ok = true;
-    active.for_each_neighbor(v, [&](NodeId u) { ok &= col[u] != col[v]; });
-    if (!ok) return false;
-  }
-  return true;
-}
+using test::proper_on_active;
 
 TEST(Linial, ReducesToPolyDeltaColors) {
   for (auto [g, name] : {std::pair{make_cycle(128), "cycle"},
                          std::pair{make_grid(8, 16), "grid"},
                          std::pair{make_gnp(100, 0.08, 11), "gnp"}}) {
     congest::Network net(g);
-    InducedSubgraph all(g, std::vector<bool>(g.num_nodes(), true));
+    InducedSubgraph all = test::all_active(g);
     LinialResult r = linial_coloring(net, all);
     EXPECT_TRUE(proper_on_active(all, r.coloring)) << name;
     const std::int64_t delta = g.max_degree();
@@ -58,17 +50,17 @@ TEST(Linial, WorksOnSubgraph) {
 TEST(Mis, ValidOnVariousGraphs) {
   for (auto g : {make_cycle(30), make_path(17), make_grid(5, 6), make_gnp(60, 0.1, 3)}) {
     congest::Network net(g);
-    InducedSubgraph all(g, std::vector<bool>(g.num_nodes(), true));
+    InducedSubgraph all = test::all_active(g);
     LinialResult lin = linial_coloring(net, all);
     auto mis = mis_by_color_classes(net, all, lin.coloring, lin.num_colors);
-    EXPECT_TRUE(is_mis(all, mis));
+    EXPECT_TRUE(test::valid_mis(all, mis));
   }
 }
 
 TEST(Mis, SingletonAndEmpty) {
   auto g = Graph::from_edges(1, {});
   congest::Network net(g);
-  InducedSubgraph all(g, std::vector<bool>(1, true));
+  InducedSubgraph all = test::all_active(g);
   auto mis = mis_by_color_classes(net, all, {0}, 1);
   EXPECT_TRUE(mis[0]);
 }
@@ -79,7 +71,7 @@ TEST(ListInstance, DeltaPlusOne) {
   EXPECT_EQ(inst.color_space(), 6);
   EXPECT_EQ(inst.list(0).size(), 6u);  // center: deg 5
   EXPECT_EQ(inst.list(1).size(), 2u);
-  EXPECT_TRUE(inst.feasible_for(InducedSubgraph(g, std::vector<bool>(6, true))));
+  EXPECT_TRUE(inst.feasible_for(test::all_active(g)));
 }
 
 TEST(ListInstance, RandomListsFeasibleAndSorted) {
@@ -152,7 +144,7 @@ TEST_P(PartialColoringTest, LemmaGuarantees) {
   const NodeId n = g.num_nodes();
 
   congest::Network net(g);
-  InducedSubgraph active(g, std::vector<bool>(n, true));
+  InducedSubgraph active = test::all_active(g);
   LinialResult lin = linial_coloring(net, active);
   congest::BfsTree tree = congest::BfsTree::build(net, 0);
   BfsChannel channel(tree);
@@ -181,12 +173,10 @@ TEST_P(PartialColoringTest, LemmaGuarantees) {
   EXPECT_LE(st.potential_after_phase.back() - noise, Fraction::from_int(2 * n));
 
   // (4) Proper partial coloring from the original lists.
+  EXPECT_TRUE(test::proper_partial_on_active(test::all_active(g), colors, kUncolored));
   for (NodeId v = 0; v < n; ++v) {
     if (colors[v] == kUncolored) continue;
     EXPECT_TRUE(std::binary_search(pristine.list(v).begin(), pristine.list(v).end(), colors[v]));
-    for (NodeId u : g.neighbors(v)) {
-      EXPECT_TRUE(colors[u] == kUncolored || colors[u] != colors[v]);
-    }
   }
 
   // (5) Residual feasibility.

@@ -64,6 +64,75 @@ TEST(Network, BandwidthDefaultIsLogarithmic) {
   EXPECT_LE(net.bandwidth_bits(), 2 * 10 + 16);
 }
 
+// Violation-path coverage: every way an algorithm can cheat the model —
+// oversize payloads, double-sends on one edge per round, and declaring
+// fewer bits than the payload's magnitude — must throw CongestViolation,
+// and a rejected send must leave the network state untouched.
+
+TEST(NetworkViolations, OversizeBoundaryIsExact) {
+  auto g = make_path(3);
+  Network net(g, 8);
+  net.send(0, 1, 255, 8);  // exactly at the budget: allowed
+  EXPECT_THROW(net.send(1, 2, 0, 9), CongestViolation);
+  net.advance_round();
+  EXPECT_EQ(net.metrics().max_message_bits, 8);
+}
+
+TEST(NetworkViolations, DeclaredBitsMustCoverMagnitude) {
+  auto g = make_path(3);
+  Network net(g);
+  net.send(0, 1, 15, 4);                                  // 15 fits in 4 bits
+  EXPECT_THROW(net.send(1, 2, 16, 4), CongestViolation);  // 16 needs 5
+  // Wide-payload magnitude check: bandwidth 64 so only the declared-size
+  // check can fire (~0 needs 64 bits, 63 declared).
+  Network wide(g, 64);
+  EXPECT_THROW(wide.send(1, 2, ~0ull, 63), CongestViolation);
+  wide.send(1, 2, ~0ull, 64);  // full-width payload with honest declaration
+}
+
+TEST(NetworkViolations, RejectsSelfLoopSend) {
+  auto g = make_path(3);
+  Network net(g);
+  EXPECT_THROW(net.send(1, 1, 0, 1), CongestViolation);
+}
+
+TEST(NetworkViolations, DoubleSendViaSendAll) {
+  auto g = make_star(4);
+  Network net(g);
+  net.send_all(0, 1, 1);
+  // The broadcast already used every incident edge of the center.
+  EXPECT_THROW(net.send(0, 1, 1, 1), CongestViolation);
+  EXPECT_THROW(net.send_all(0, 1, 1), CongestViolation);
+  // Leaf-to-center is the opposite edge slot: still free.
+  net.send(1, 0, 1, 1);
+  net.advance_round();
+  EXPECT_EQ(net.inbox(0).size(), 1u);
+  EXPECT_EQ(net.inbox(3).size(), 1u);
+}
+
+TEST(NetworkViolations, FailedSendLeavesStateClean) {
+  auto g = make_path(3);
+  Network net(g, 8);
+  EXPECT_THROW(net.send(0, 1, 0, 9), CongestViolation);
+  EXPECT_EQ(net.metrics().messages, 0);
+  // The rejected send must not have stamped the edge.
+  net.send(0, 1, 7, 3);
+  net.advance_round();
+  ASSERT_EQ(net.inbox(1).size(), 1u);
+  EXPECT_EQ(net.metrics().messages, 1);
+  EXPECT_EQ(net.metrics().total_bits, 3);
+}
+
+TEST(NetworkViolations, ResetMetricsClearsEdgeStamps) {
+  auto g = make_path(2);
+  Network net(g);
+  net.send(0, 1, 1, 1);
+  // Restarting the round counter must not alias old stamps with the new
+  // round 0 (see reset_metrics); the edge is immediately usable again.
+  net.reset_metrics();
+  EXPECT_NO_THROW(net.send(0, 1, 1, 1));
+}
+
 TEST(BfsTreeTest, BuildsCorrectLevels) {
   auto g = make_path(8);
   Network net(g);

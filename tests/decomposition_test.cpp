@@ -8,21 +8,17 @@
 #include "src/decomposition/netdecomp.h"
 #include "src/graph/generators.h"
 #include "src/graph/properties.h"
+#include "tests/test_support.h"
 
 namespace dcolor {
 namespace {
 
-std::vector<std::pair<const char*, Graph>> decomposition_graphs() {
-  std::vector<std::pair<const char*, Graph>> v;
-  v.emplace_back("path64", make_path(64));
-  v.emplace_back("cycle100", make_cycle(100));
-  v.emplace_back("grid8x12", make_grid(8, 12));
-  v.emplace_back("tree127", make_binary_tree(127));
-  v.emplace_back("cliquepath", make_path_of_cliques(10, 6));
-  v.emplace_back("gnp", make_gnp(120, 0.04, 77));
-  v.emplace_back("clustered", make_clustered(6, 12, 0.4, 8, 3));
-  v.emplace_back("star40", make_star(40));
-  v.emplace_back("complete12", make_complete(12));
+// The shared stress corpus already covers every family the decomposition
+// bounds care about (cycle/grid/gnp/tree/cliquepath/clustered/star/
+// complete/near-regular); a long path is the one shape it lacks.
+std::vector<test::NamedGraph> decomposition_graphs() {
+  std::vector<test::NamedGraph> v = test::stress_corpus();
+  v.push_back({"path64", make_path(64)});
   return v;
 }
 

@@ -1,9 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
 
 #include "src/graph/generators.h"
 #include "src/graph/io.h"
+#include "tests/test_support.h"
 
 namespace dcolor {
 namespace {
@@ -25,6 +27,44 @@ TEST(GraphIo, RejectsMalformed) {
   EXPECT_FALSE(read_edge_list(b).has_value());
   std::stringstream c("3 5\n0 1\n");  // truncated
   EXPECT_FALSE(read_edge_list(c).has_value());
+}
+
+TEST(GraphIo, RoundTripPreservesAdjacencyAcrossCorpus) {
+  for (const auto& [name, g] : test::small_corpus()) {
+    std::stringstream ss;
+    write_edge_list(ss, g);
+    auto g2 = read_edge_list(ss);
+    ASSERT_TRUE(g2.has_value()) << name;
+    ASSERT_EQ(g2->num_nodes(), g.num_nodes()) << name;
+    EXPECT_EQ(g2->num_edges(), g.num_edges()) << name;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      ASSERT_EQ(g2->degree(v), g.degree(v)) << name << " node " << v;
+      const auto a = g.neighbors(v);
+      const auto b = g2->neighbors(v);
+      EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end())) << name << " node " << v;
+    }
+  }
+}
+
+TEST(GraphIo, EdgelessRoundTrip) {
+  auto g = Graph::from_edges(5, {});
+  std::stringstream ss;
+  write_edge_list(ss, g);
+  auto g2 = read_edge_list(ss);
+  ASSERT_TRUE(g2.has_value());
+  EXPECT_EQ(g2->num_nodes(), 5);
+  EXPECT_EQ(g2->num_edges(), 0);
+}
+
+TEST(GraphIo, RejectsMoreMalformedShapes) {
+  std::stringstream a("-1 0\n");  // negative node count
+  EXPECT_FALSE(read_edge_list(a).has_value());
+  std::stringstream b("3 -2\n");  // negative edge count
+  EXPECT_FALSE(read_edge_list(b).has_value());
+  std::stringstream c("");  // empty input
+  EXPECT_FALSE(read_edge_list(c).has_value());
+  std::stringstream d("2 1\nx y\n");  // non-numeric endpoints
+  EXPECT_FALSE(read_edge_list(d).has_value());
 }
 
 TEST(GraphIo, DotContainsNodesAndEdges) {

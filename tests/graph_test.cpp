@@ -3,6 +3,7 @@
 #include "src/graph/generators.h"
 #include "src/graph/graph.h"
 #include "src/graph/properties.h"
+#include "tests/test_support.h"
 
 namespace dcolor {
 namespace {
@@ -129,7 +130,7 @@ TEST(Properties, ProperColoringCheck) {
 
 TEST(InducedSubgraphView, DegreesAndRemoval) {
   auto g = make_complete(5);
-  InducedSubgraph sub(g, std::vector<bool>(5, true));
+  InducedSubgraph sub = test::all_active(g);
   EXPECT_EQ(sub.degree(0), 4);
   sub.remove(4);
   EXPECT_EQ(sub.degree(0), 3);

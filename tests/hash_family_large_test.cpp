@@ -10,6 +10,7 @@
 #include "src/hash/coin_family.h"
 #include "src/hash/gf_family.h"
 #include "src/util/rng.h"
+#include "tests/test_support.h"
 
 namespace dcolor {
 namespace {
@@ -27,7 +28,7 @@ TEST_P(LargeFamilyTest, ConditionalExactnessWithFewFreeBits) {
   auto fam = make_coin_family(kind, K, b);
   const int d = fam->seed_length();
   const std::uint64_t full = std::uint64_t{1} << b;
-  Rng rng(42 + d);
+  Rng rng = test::make_rng(d);
 
   for (int trial = 0; trial < 6; ++trial) {
     const CoinSpec u{rng.next_below(K), rng.next_below(full + 1)};

@@ -10,15 +10,12 @@
 #include "src/hash/bitwise_family.h"
 #include "src/hash/coin_family.h"
 #include "src/hash/gf_family.h"
+#include "tests/test_support.h"
 
 namespace dcolor {
 namespace {
 
-std::vector<std::uint8_t> seed_bits(std::uint64_t s, int len) {
-  std::vector<std::uint8_t> bits(len);
-  for (int i = 0; i < len; ++i) bits[i] = static_cast<std::uint8_t>(s >> i & 1);
-  return bits;
-}
+using test::seed_bits;
 
 struct FamilyCase {
   CoinFamilyKind kind;

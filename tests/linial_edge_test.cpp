@@ -7,6 +7,7 @@
 #include "src/coloring/theorem11.h"
 #include "src/congest/bfs_tree.h"
 #include "src/graph/generators.h"
+#include "tests/test_support.h"
 
 namespace dcolor {
 namespace {
@@ -29,7 +30,7 @@ TEST(LinialEdge, NextPaletteMonotoneAndQuadratic) {
 TEST(LinialEdge, StepPreservesProperness) {
   auto g = make_gnp(40, 0.2, 9);
   congest::Network net(g);
-  InducedSubgraph all(g, std::vector<bool>(40, true));
+  InducedSubgraph all = test::all_active(g);
   std::vector<std::int64_t> coloring(40);
   for (int v = 0; v < 40; ++v) coloring[v] = v;
   const std::int64_t k_out = linial_step(net, all, coloring, 40, g.max_degree());
@@ -43,7 +44,7 @@ TEST(LinialEdge, StepPreservesProperness) {
 TEST(LinialEdge, IsolatedNodesAndSingletons) {
   auto g = Graph::from_edges(5, {});  // edgeless
   congest::Network net(g);
-  InducedSubgraph all(g, std::vector<bool>(5, true));
+  InducedSubgraph all = test::all_active(g);
   LinialResult r = linial_coloring(net, all);
   EXPECT_LE(r.num_colors, 5);
 }
@@ -86,8 +87,7 @@ TEST(ListInstanceEdge, TrimKeepsFeasibility) {
   auto inst = ListInstance::random_lists(g, 20, 3);
   inst.trim_list(0, 5);  // center: deg 4, so 5 entries suffice
   EXPECT_EQ(inst.list(0).size(), 5u);
-  InducedSubgraph all(g, std::vector<bool>(5, true));
-  EXPECT_TRUE(inst.feasible_for(all));
+  EXPECT_TRUE(inst.feasible_for(test::all_active(g)));
   inst.trim_list(0, 500);  // no-op beyond current size
   EXPECT_EQ(inst.list(0).size(), 5u);
 }

@@ -137,16 +137,19 @@ TEST(MpcPrimitives, GroupRanks) {
 
 class MpcColoringTest : public ::testing::TestWithParam<int> {};
 
-TEST_P(MpcColoringTest, LinearRegimeColorsValidly) {
-  Graph g;
-  switch (GetParam()) {
-    case 0: g = make_cycle(40); break;
-    case 1: g = make_grid(6, 8); break;
-    case 2: g = make_gnp(48, 0.1, 6); break;
-    case 3: g = make_complete(10); break;
-    case 4: g = make_star(30); break;
-    default: g = make_path(12);
+Graph coloring_case_graph(int scenario) {
+  switch (scenario) {
+    case 0: return make_cycle(40);
+    case 1: return make_grid(6, 8);
+    case 2: return make_gnp(48, 0.1, 6);
+    case 3: return make_complete(10);
+    case 4: return make_star(30);
+    default: return make_path(12);
   }
+}
+
+TEST_P(MpcColoringTest, LinearRegimeColorsValidly) {
+  Graph g = coloring_case_graph(GetParam());
   auto inst = ListInstance::delta_plus_one(g);
   const ListInstance pristine = inst;
   auto res = mpc::mpc_list_coloring_linear(g, std::move(inst));
@@ -155,15 +158,7 @@ TEST_P(MpcColoringTest, LinearRegimeColorsValidly) {
 }
 
 TEST_P(MpcColoringTest, SublinearRegimeColorsValidly) {
-  Graph g;
-  switch (GetParam()) {
-    case 0: g = make_cycle(40); break;
-    case 1: g = make_grid(6, 8); break;
-    case 2: g = make_gnp(48, 0.1, 6); break;
-    case 3: g = make_complete(10); break;
-    case 4: g = make_star(30); break;
-    default: g = make_path(12);
-  }
+  Graph g = coloring_case_graph(GetParam());
   auto inst = ListInstance::delta_plus_one(g);
   const ListInstance pristine = inst;
   auto res = mpc::mpc_list_coloring_sublinear(g, std::move(inst), 0.6);

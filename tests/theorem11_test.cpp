@@ -7,17 +7,13 @@
 #include "src/coloring/theorem11.h"
 #include "src/graph/generators.h"
 #include "src/graph/properties.h"
+#include "tests/test_support.h"
 
 namespace dcolor {
 namespace {
 
-struct GraphCase {
-  const char* name;
-  Graph g;
-};
-
-std::vector<GraphCase> small_graphs() {
-  std::vector<GraphCase> cases;
+std::vector<test::NamedGraph> small_graphs() {
+  std::vector<test::NamedGraph> cases;
   cases.push_back({"single", Graph::from_edges(1, {})});
   cases.push_back({"edge", make_path(2)});
   cases.push_back({"path16", make_path(16)});
