@@ -3,10 +3,15 @@
 // EXPERIMENTS.md: it prints the measured series next to the paper's
 // predicted complexity expression and the fit ratio measured/predicted,
 // which should be roughly flat if the implementation matches the claimed
-// shape.
+// shape. Tables also emit machine-readable JSON (print_json / --json) so
+// trajectory files (BENCH_*.json) can be produced directly from the
+// binaries.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -25,18 +30,26 @@ class Table {
     rows_.push_back(Row{{to_cell(args)...}});
   }
 
+  // Ragged rows are tolerated: missing cells print empty, surplus cells
+  // print unpadded, and neither direction indexes out of bounds.
   void print(const std::string& title) const {
     std::printf("\n== %s ==\n", title.c_str());
     auto width = [&](std::size_t c) {
       std::size_t w = headers_[c].size();
-      for (const Row& r : rows_) w = std::max(w, r.cells[c].size());
+      for (const Row& r : rows_) {
+        if (c < r.cells.size()) w = std::max(w, r.cells[c].size());
+      }
       return w;
     };
     std::vector<std::size_t> widths(headers_.size());
     for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = width(c);
     auto line = [&](const std::vector<std::string>& cells) {
-      for (std::size_t c = 0; c < cells.size(); ++c) {
-        std::printf("%-*s  ", static_cast<int>(widths[c]), cells[c].c_str());
+      const std::size_t columns = std::max(cells.size(), widths.size());
+      static const std::string empty;
+      for (std::size_t c = 0; c < columns; ++c) {
+        const std::string& cell = c < cells.size() ? cells[c] : empty;
+        const int w = c < widths.size() ? static_cast<int>(widths[c]) : 0;
+        std::printf("%-*s  ", w, cell.c_str());
       }
       std::printf("\n");
     };
@@ -47,7 +60,53 @@ class Table {
     for (const Row& r : rows_) line(r.cells);
   }
 
+  // {"title":...,"headers":[...],"rows":[[...]]} on one stream; cell
+  // values stay strings, so the output is lossless w.r.t. the table.
+  void print_json(const std::string& title, std::FILE* out = stdout) const {
+    std::fprintf(out, "{\"title\":%s,\"headers\":[", json_quote(title).c_str());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      std::fprintf(out, "%s%s", c ? "," : "", json_quote(headers_[c]).c_str());
+    }
+    std::fprintf(out, "],\"rows\":[");
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      std::fprintf(out, "%s[", r ? "," : "");
+      for (std::size_t c = 0; c < rows_[r].cells.size(); ++c) {
+        std::fprintf(out, "%s%s", c ? "," : "", json_quote(rows_[r].cells[c]).c_str());
+      }
+      std::fprintf(out, "]");
+    }
+    std::fprintf(out, "]}\n");
+  }
+
+  // Table-mode or JSON-mode output in one call, for binaries that take
+  // --json on the command line (see has_flag below).
+  void emit(const std::string& title, bool json) const {
+    if (json) {
+      print_json(title);
+    } else {
+      print(title);
+    }
+  }
+
  private:
+  static std::string json_quote(const std::string& s) {
+    std::string out = "\"";
+    for (char ch : s) {
+      if (ch == '"' || ch == '\\') {
+        out += '\\';
+        out += ch;
+      } else if (static_cast<unsigned char>(ch) < 0x20) {
+        char buf[8];
+        std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+        out += buf;
+      } else {
+        out += ch;
+      }
+    }
+    out += '"';
+    return out;
+  }
+
   static std::string to_cell(const char* s) { return s; }
   static std::string to_cell(const std::string& s) { return s; }
   static std::string to_cell(int v) { return std::to_string(v); }
@@ -66,6 +125,46 @@ class Table {
 
 inline double fit(double measured, double predicted) {
   return predicted > 0 ? measured / predicted : 0.0;
+}
+
+// True iff `flag` (e.g. "--json") appears among the arguments.
+inline bool has_flag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+// Value of "--name value" or "--name=value"; fallback when absent.
+inline std::string flag_value(int argc, char** argv, const char* name,
+                              const std::string& fallback) {
+  const std::string prefix = std::string(name) + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::string(argv[i] + prefix.size());
+    }
+    if (std::strcmp(argv[i], name) == 0 && i + 1 < argc) return argv[i + 1];
+  }
+  return fallback;
+}
+
+// "1,2,4" -> {1,2,4}; empty and non-numeric tokens are skipped (not
+// mapped to 0).
+inline std::vector<long long> parse_int_list(const std::string& csv) {
+  std::vector<long long> out;
+  std::size_t pos = 0;
+  while (pos < csv.size()) {
+    std::size_t comma = csv.find(',', pos);
+    if (comma == std::string::npos) comma = csv.size();
+    const std::string tok = csv.substr(pos, comma - pos);
+    if (!tok.empty()) {
+      char* end = nullptr;
+      const long long v = std::strtoll(tok.c_str(), &end, 10);
+      if (end == tok.c_str() + tok.size()) out.push_back(v);
+    }
+    pos = comma + 1;
+  }
+  return out;
 }
 
 }  // namespace dcolor::bench

@@ -8,11 +8,10 @@
 #include "src/util/prime.h"
 
 namespace dcolor {
-namespace {
 
 // Smallest prime q such that colors in [k] written base q (d+1 = number of
 // digits) satisfy q > max_degree * d. Such q exists and is O(Delta log k).
-std::int64_t choose_field(std::int64_t k, int max_degree, int* degree_out) {
+std::int64_t linial_field(std::int64_t k, int max_degree, int* degree_out) {
   for (std::int64_t q = std::max<std::int64_t>(2, max_degree + 1);; q = next_prime(q + 1)) {
     if (!is_prime(q)) {
       q = static_cast<std::int64_t>(next_prime(static_cast<std::uint64_t>(q)));
@@ -28,7 +27,7 @@ std::int64_t choose_field(std::int64_t k, int max_degree, int* degree_out) {
   }
 }
 
-std::int64_t eval_poly(std::int64_t x, std::int64_t alpha, std::int64_t q, int degree) {
+std::int64_t linial_eval(std::int64_t x, std::int64_t alpha, std::int64_t q, int degree) {
   // Coefficients = base-q digits of x; Horner from the top digit.
   std::int64_t coeff[64];
   for (int i = 0; i <= degree; ++i) {
@@ -40,11 +39,31 @@ std::int64_t eval_poly(std::int64_t x, std::int64_t alpha, std::int64_t q, int d
   return acc;
 }
 
-}  // namespace
+std::int64_t linial_pick_next_color(std::int64_t color, std::span<const std::int64_t> nb_colors,
+                                    std::int64_t q, int degree) {
+  // Find alpha such that (alpha, f_v(alpha)) differs from every
+  // neighbor's full polynomial graph: for each neighbor u with a
+  // different polynomial, f_u agrees with f_v on <= degree points, and
+  // there are <= Delta * degree bad points < q in total.
+  for (std::int64_t alpha = 0; alpha < q; ++alpha) {
+    bool ok = true;
+    const std::int64_t mine = linial_eval(color, alpha, q, degree);
+    for (std::int64_t cu : nb_colors) {
+      if (cu == color) continue;  // proper input coloring forbids this
+      if (linial_eval(cu, alpha, q, degree) == mine) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return alpha * q + mine;
+  }
+  assert(false && "q > Delta*degree guarantees a free point");
+  return 0;
+}
 
 std::int64_t linial_next_palette(std::int64_t k_in, int max_degree) {
   int degree = 0;
-  const std::int64_t q = choose_field(k_in, std::max(max_degree, 1), &degree);
+  const std::int64_t q = linial_field(k_in, std::max(max_degree, 1), &degree);
   return q * q;
 }
 
@@ -53,7 +72,7 @@ std::int64_t linial_step(congest::Network& net, const InducedSubgraph& active,
                          int active_max_degree) {
   const Graph& g = net.graph();
   int degree = 0;
-  const std::int64_t q = choose_field(k_in, std::max(active_max_degree, 1), &degree);
+  const std::int64_t q = linial_field(k_in, std::max(active_max_degree, 1), &degree);
 
   // Exchange current colors with neighbors (one round; log k_in bits).
   const int color_bits = bit_width_of(static_cast<std::uint64_t>(std::max<std::int64_t>(k_in - 1, 1)));
@@ -73,28 +92,7 @@ std::int64_t linial_step(congest::Network& net, const InducedSubgraph& active,
     for (const congest::Incoming& m : net.inbox(v)) {
       nb_colors.push_back(static_cast<std::int64_t>(m.payload));
     }
-    // Find alpha such that (alpha, f_v(alpha)) differs from every
-    // neighbor's full polynomial graph: for each neighbor u with a
-    // different polynomial, f_u agrees with f_v on <= degree points, and
-    // there are <= Delta * degree bad points < q in total.
-    std::int64_t chosen_alpha = -1;
-    for (std::int64_t alpha = 0; alpha < q; ++alpha) {
-      bool ok = true;
-      const std::int64_t mine = eval_poly(coloring[v], alpha, q, degree);
-      for (std::int64_t cu : nb_colors) {
-        if (cu == coloring[v]) continue;  // proper input coloring forbids this
-        if (eval_poly(cu, alpha, q, degree) == mine) {
-          ok = false;
-          break;
-        }
-      }
-      if (ok) {
-        chosen_alpha = alpha;
-        break;
-      }
-    }
-    assert(chosen_alpha >= 0 && "q > Delta*degree guarantees a free point");
-    next[v] = chosen_alpha * q + eval_poly(coloring[v], chosen_alpha, q, degree);
+    next[v] = linial_pick_next_color(coloring[v], nb_colors, q, degree);
   }
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
     if (active.contains(v)) coloring[v] = next[v];

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "src/congest/network.h"
@@ -28,6 +29,26 @@ struct LinialResult {
   std::int64_t num_colors = 0;         // colors are in [0, num_colors)
   int iterations = 0;
 };
+
+// Field parameters of one reduction step: the smallest prime q (with the
+// matching polynomial-degree bound d, written to *poly_degree) such that
+// colors in [k_in] written base q satisfy q > max_degree * d. Exposed so
+// alternative executors (src/runtime) can replay the exact step schedule
+// the Network-driven implementation follows.
+std::int64_t linial_field(std::int64_t k_in, int max_degree, int* poly_degree);
+
+// f_color(alpha) over F_q, where f_color's coefficient vector is the
+// base-q representation of `color` (degree <= poly_degree <= 63).
+std::int64_t linial_eval(std::int64_t color, std::int64_t alpha, std::int64_t q,
+                         int poly_degree);
+
+// One node's selection: the smallest evaluation point alpha whose pair
+// (alpha, f_color(alpha)) differs from every neighbor polynomial's graph,
+// returned as the pair color alpha*q + f_color(alpha). Shared by the
+// Network driver and the src/runtime engine port so the two executors
+// cannot drift apart (the engine's bit-parity guarantee rests on it).
+std::int64_t linial_pick_next_color(std::int64_t color, std::span<const std::int64_t> nb_colors,
+                                    std::int64_t q, int poly_degree);
 
 // Palette size q^2 one Linial step would produce from a k_in-coloring on a
 // subgraph of the given max degree (without running it).

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <numeric>
+#include <unordered_set>
 
 #include "src/util/rng.h"
 
@@ -138,6 +140,109 @@ Graph make_clustered(NodeId num_clusters, NodeId cluster_size, double intra_p,
     const NodeId u = static_cast<NodeId>(rng.next_below(n));
     const NodeId v = static_cast<NodeId>(rng.next_below(n));
     if (u != v) e.emplace_back(u, v);
+  }
+  return Graph::from_edges(n, std::move(e));
+}
+
+Graph make_random_regular(NodeId n, int d, std::uint64_t seed) {
+  assert(d >= 1 && d < n && (static_cast<std::int64_t>(n) * d) % 2 == 0);
+  Rng rng(seed);
+  std::vector<NodeId> stubs(static_cast<std::size_t>(n) * d);
+  for (std::size_t i = 0; i < stubs.size(); ++i) stubs[i] = static_cast<NodeId>(i / d);
+  for (std::size_t i = stubs.size() - 1; i > 0; --i) {
+    std::swap(stubs[i], stubs[rng.next_below(i + 1)]);
+  }
+  const std::size_t m = stubs.size() / 2;
+  std::vector<std::pair<NodeId, NodeId>> e(m);
+  for (std::size_t k = 0; k < m; ++k) e[k] = {stubs[2 * k], stubs[2 * k + 1]};
+
+  // Repair pass: resolve self-loops and duplicate edges by swapping the
+  // offending pair with a random good edge — degree-preserving, and the
+  // expected number of repairs is O(d^2), so this terminates fast.
+  const auto key = [n](NodeId a, NodeId b) {
+    if (a > b) std::swap(a, b);
+    return static_cast<std::uint64_t>(a) * static_cast<std::uint64_t>(n) + b;
+  };
+  std::unordered_set<std::uint64_t> present;
+  present.reserve(m * 2);
+  std::vector<std::size_t> bad;
+  std::vector<char> is_bad(m, 0);
+  for (std::size_t k = 0; k < m; ++k) {
+    if (e[k].first == e[k].second || !present.insert(key(e[k].first, e[k].second)).second) {
+      bad.push_back(k);
+      is_bad[k] = 1;
+    }
+  }
+  std::int64_t budget = 1000 * static_cast<std::int64_t>(m) + 100000;
+  while (!bad.empty()) {
+    assert(budget > 0 && "make_random_regular repair failed to converge");
+    if (budget <= 0) break;  // release-build safety valve; from_edges dedups
+    const std::size_t k = bad.back();
+    const std::size_t j = static_cast<std::size_t>(rng.next_below(m));
+    --budget;
+    if (j == k || is_bad[j]) continue;
+    const auto [u, v] = e[k];
+    const auto [a, b] = e[j];
+    // Proposed rewiring: (u,v),(a,b) -> (u,a),(v,b).
+    if (u == a || v == b) continue;
+    const std::uint64_t k1 = key(u, a);
+    const std::uint64_t k2 = key(v, b);
+    if (k1 == k2 || present.count(k1) != 0 || present.count(k2) != 0) continue;
+    present.erase(key(a, b));
+    present.insert(k1);
+    present.insert(k2);
+    e[k] = {u, a};
+    e[j] = {v, b};
+    is_bad[k] = 0;
+    bad.pop_back();
+  }
+  return Graph::from_edges(n, std::move(e));
+}
+
+Graph make_powerlaw(NodeId n, double exponent, std::uint64_t seed) {
+  assert(n >= 2 && exponent > 2.0);
+  Rng rng(seed);
+  const double alpha = 1.0 / (exponent - 1.0);
+  std::vector<double> w(n);
+  double raw_sum = 0;
+  for (NodeId i = 0; i < n; ++i) {
+    w[i] = std::pow(static_cast<double>(i) + 1.0, -alpha);
+    raw_sum += w[i];
+  }
+  // Scale to mean expected degree ~8 (capped below n-1 for tiny graphs).
+  const double target_mean = std::min(8.0, static_cast<double>(n - 1));
+  const double scale = target_mean * n / raw_sum;
+  double s = 0;
+  for (NodeId i = 0; i < n; ++i) {
+    w[i] *= scale;
+    s += w[i];
+  }
+  // Miller–Hagberg sampling over the descending weight sequence: skip
+  // ahead geometrically under the running probability bound p, then
+  // accept with q/p — O(n + m) instead of the naive O(n^2).
+  std::vector<std::pair<NodeId, NodeId>> e;
+  for (NodeId i = 0; i + 1 < n; ++i) {
+    NodeId j = i + 1;
+    double p = std::min(w[i] * w[j] / s, 1.0);
+    while (j < n && p > 0) {
+      if (p < 1.0) {
+        const double r = rng.next_double();
+        // Accumulate in 64 bits and clamp: for tail probabilities ~1e-9
+        // the skip can exceed int32 range, and the double->int cast of an
+        // out-of-range value would be UB.
+        const double skip = std::floor(std::log(1.0 - r) / std::log(1.0 - p));
+        const std::int64_t next = skip >= static_cast<double>(n)
+                                      ? static_cast<std::int64_t>(n)
+                                      : static_cast<std::int64_t>(j) + static_cast<std::int64_t>(skip);
+        j = static_cast<NodeId>(std::min<std::int64_t>(next, n));
+      }
+      if (j < n) {
+        const double q = std::min(w[i] * w[j] / s, 1.0);
+        if (rng.next_double() < q / p) e.emplace_back(i, j);
+        p = q;
+        ++j;
+      }
+    }
   }
   return Graph::from_edges(n, std::move(e));
 }

@@ -36,5 +36,13 @@ Graph make_clustered(NodeId num_clusters, NodeId cluster_size, double intra_p,
                      NodeId backbone_edges, std::uint64_t seed);
 // Power-law-ish degree sequence via preferential attachment.
 Graph make_preferential_attachment(NodeId n, int edges_per_node, std::uint64_t seed);
+// Exactly d-regular simple graph: configuration-model stub matching with
+// deterministic edge-swap repair of self-loops/duplicates. Requires
+// 1 <= d < n and n*d even; connected with high probability for d >= 3.
+Graph make_random_regular(NodeId n, int d, std::uint64_t seed);
+// Chung–Lu power-law graph: expected degree of node i proportional to
+// (i+1)^(-1/(exponent-1)), scaled to mean ~8, sampled in O(n + m) with
+// geometric skipping. Requires exponent > 2.
+Graph make_powerlaw(NodeId n, double exponent, std::uint64_t seed);
 
 }  // namespace dcolor

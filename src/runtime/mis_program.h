@@ -1,0 +1,56 @@
+// Derandomized MIS on the parallel engine: an MisTransport whose
+// primitives (Linial coin coloring, BFS-tree build, one-round exchanges,
+// tree aggregation/broadcast) are NodeProgram phases executed by the
+// ParallelEngine, charging the exact CONGEST costs of the
+// congest::Network reference transport. Combined with the shared core in
+// src/coloring/derand_mis.cpp this yields bit-identical MIS results,
+// iteration counts and Metrics at every thread count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/coloring/derand_mis.h"
+#include "src/runtime/parallel_engine.h"
+
+namespace dcolor::runtime {
+
+// BFS tree as plain per-node arrays (the engine-side mirror of
+// congest::BfsTree's structure).
+struct TreeData {
+  NodeId root = 0;
+  int depth = 0;
+  std::vector<int> level;
+  std::vector<NodeId> parent;
+  std::vector<std::vector<NodeId>> children;
+};
+
+class EngineMisTransport final : public MisTransport {
+ public:
+  EngineMisTransport(const Graph& g, int num_threads);
+
+  LinialResult linial_ids() override;
+  void build_tree(NodeId root) override;
+  void exchange(const std::vector<char>& senders, const std::vector<std::uint64_t>& payloads,
+                int bits, const std::vector<char>& active,
+                std::vector<char>* received) override;
+  std::uint64_t aggregate_fixed_sum(const std::vector<long double>& values) override;
+  void broadcast(std::uint64_t value, int bits) override;
+  void tick(std::int64_t rounds) override { eng_.tick(rounds); }
+  const congest::Metrics& metrics() const override { return eng_.metrics(); }
+
+  ParallelEngine& engine() { return eng_; }
+  const TreeData& tree() const { return tree_; }
+
+ private:
+  const Graph* g_;
+  ParallelEngine eng_;
+  TreeData tree_;
+};
+
+// Deterministic MIS on the communication graph, executed by the parallel
+// engine at the given thread count. Produces results and Metrics
+// bit-identical to dcolor::derandomized_mis.
+DerandMisResult derandomized_mis(const Graph& g, int num_threads);
+
+}  // namespace dcolor::runtime

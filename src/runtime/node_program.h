@@ -1,0 +1,91 @@
+// Vertex-program interface for the parallel deterministic CONGEST engine.
+//
+// A NodeProgram is the per-node half of a round-synchronous algorithm:
+// `init` runs once per node before any round and may stage messages;
+// `on_round` runs once per node per delivered round over that node's
+// inbox and may stage messages for the next round. The engine guarantees
+// that on_round for round r sees exactly the messages staged in the
+// previous phase, and that the phase barrier is the only point at which
+// cross-node writes become visible.
+//
+// Determinism contract: within a phase a node may read shared state only
+// if no node writes it this phase, and may write shared state only at
+// indices it owns (its own slot of a result vector). Programs that follow
+// this rule produce bit-identical results and Metrics for every thread
+// count — the property the parity tests in tests/runtime_engine_test.cpp
+// enforce.
+#pragma once
+
+#include <cstdint>
+
+#include "src/graph/graph.h"
+
+namespace dcolor::runtime {
+
+// One pre-sized inbox slot. Slot i of node v is owned by v's i-th CSR
+// neighbor — that neighbor is the only writer, so sends are lock-free.
+// `stamp` is the delivery epoch the payload belongs to; a slot is live
+// only when its stamp matches the engine's current epoch, so delivery is
+// a buffer swap with no clearing pass.
+struct Slot {
+  std::uint64_t payload = 0;
+  std::int64_t stamp = -1;
+};
+
+// Read-only view of one node's inbox for the round being processed.
+// Slot i corresponds to the node's i-th CSR neighbor whether or not that
+// neighbor sent this round; `has(i)` distinguishes the two.
+class Inbox {
+ public:
+  Inbox(const Slot* slots, const NodeId* neighbors, int degree, std::int64_t epoch)
+      : slots_(slots), neighbors_(neighbors), degree_(degree), epoch_(epoch) {}
+
+  int size() const { return degree_; }
+  bool has(int i) const { return slots_[i].stamp == epoch_; }
+  NodeId from(int i) const { return neighbors_[i]; }
+  std::uint64_t payload(int i) const { return slots_[i].payload; }
+
+  bool empty() const {
+    for (int i = 0; i < degree_; ++i) {
+      if (has(i)) return false;
+    }
+    return true;
+  }
+
+  // f(NodeId from, std::uint64_t payload) over live slots, in CSR
+  // (ascending neighbor id) order.
+  template <typename F>
+  void for_each(F&& f) const {
+    for (int i = 0; i < degree_; ++i) {
+      if (has(i)) f(neighbors_[i], slots_[i].payload);
+    }
+  }
+
+ private:
+  const Slot* slots_;
+  const NodeId* neighbors_;
+  int degree_;
+  std::int64_t epoch_;
+};
+
+class Outbox;  // defined with the engine in parallel_engine.h
+
+class NodeProgram {
+ public:
+  virtual ~NodeProgram() = default;
+
+  // Round-0 action; sends staged here are delivered in round 1.
+  virtual void init(NodeId v, Outbox& out) = 0;
+
+  // Called after each delivery. `round` is 1-based within the current
+  // ParallelEngine::run; `in` holds the messages staged in the previous
+  // phase for this node.
+  virtual void on_round(std::int64_t round, NodeId v, const Inbox& in, Outbox& out) = 0;
+
+  // Termination predicate, called on the coordinator thread after init
+  // (rounds == 0) and after each completed round; return true to stop.
+  // Non-const so programs can consume per-phase progress flags.
+  virtual bool done(std::int64_t rounds) = 0;
+};
+
+}  // namespace dcolor::runtime

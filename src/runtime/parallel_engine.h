@@ -1,0 +1,116 @@
+// Parallel deterministic executor for NodeProgram-form CONGEST algorithms.
+//
+// Where congest::Network is driven from the outside (the algorithm loops
+// over nodes and calls send/advance_round), the ParallelEngine inverts
+// control: it owns the round loop and calls the program's per-node hooks
+// over a fixed thread pool. Inboxes are CSR-backed and double-buffered —
+// one pre-sized slot per directed edge, each slot written only by its one
+// sender — so a send is a lock-free write to the receiver's owned slot
+// and delivery is a buffer swap (stamps make clearing unnecessary).
+//
+// The engine enforces the same CONGEST contract as congest::Network
+// (bandwidth ceiling, declared-bits-cover-payload, non-edge rejection,
+// one message per directed edge per round; violations throw
+// congest::CongestViolation) and charges the same Metrics: for programs
+// that follow the NodeProgram determinism contract, rounds, messages,
+// bit totals and results are bit-identical at every thread count.
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <vector>
+
+#include "src/congest/metrics.h"
+#include "src/congest/network.h"
+#include "src/graph/graph.h"
+#include "src/runtime/node_program.h"
+#include "src/runtime/thread_pool.h"
+
+namespace dcolor::runtime {
+
+class ParallelEngine;
+
+// Per-node send handle passed to NodeProgram hooks; valid only for the
+// duration of the hook invocation it was handed to.
+class Outbox {
+ public:
+  // Stage a message to neighbor `to` (O(log deg) edge validation, like
+  // congest::Network::send). Throws CongestViolation on non-edges.
+  void send(NodeId to, std::uint64_t payload, int bits);
+
+  // Stage a message to this node's nth CSR neighbor — O(1), for senders
+  // that already iterate their adjacency by index.
+  void send_nth(int nth, std::uint64_t payload, int bits);
+
+  // Stage the same message to every neighbor.
+  void send_all(std::uint64_t payload, int bits);
+
+ private:
+  friend class ParallelEngine;
+  Outbox(ParallelEngine* eng, congest::Metrics* metrics) : eng_(eng), metrics_(metrics) {}
+
+  ParallelEngine* eng_;
+  congest::Metrics* metrics_;  // worker-local accumulator
+  NodeId self_ = 0;
+};
+
+class ParallelEngine {
+ public:
+  // Bandwidth convention matches congest::Network: 2*ceil(log2 n) + 16
+  // when bandwidth_bits <= 0.
+  explicit ParallelEngine(const Graph& g, int num_threads = 1, int bandwidth_bits = 0);
+
+  const Graph& graph() const { return *g_; }
+  int bandwidth_bits() const { return bandwidth_; }
+  int num_threads() const { return pool_.num_threads(); }
+
+  // Executes `program` to completion: an init phase, then deliver +
+  // on_round phases until program.done(). Each phase charges one round.
+  // If any node throws, the exception of the smallest-id throwing node is
+  // rethrown after the phase barrier (deterministic across thread
+  // counts). Sends staged in the phase after which done() fires have no
+  // delivery round — that is a program bug and throws std::logic_error.
+  // The engine is reusable: each run gets a fresh stamp space, so a
+  // completed (or thrown) run cannot leak messages into the next one.
+  // Returns the number of rounds this run charged.
+  std::int64_t run(NodeProgram& program);
+
+  // Charged idle rounds (pipelined chunks etc.), as Network::tick.
+  void tick(std::int64_t rounds) { metrics_.rounds += rounds; }
+
+  const congest::Metrics& metrics() const { return metrics_; }
+  // Delivery epochs are monotonic and independent of the round counter,
+  // so resetting metrics cannot alias stale inbox stamps.
+  void reset_metrics() { metrics_ = congest::Metrics{}; }
+
+ private:
+  friend class Outbox;
+
+  Slot* staging() { return bufs_[cur_ ^ 1].data(); }
+  const Slot* delivered() const { return bufs_[cur_].data(); }
+
+  void stage(NodeId from, int nth, std::uint64_t payload, int bits, congest::Metrics& m);
+
+  template <typename F>
+  void run_phase(F&& per_node);  // per_node(NodeId, Outbox&); defined in .cpp
+
+  const Graph* g_;
+  int bandwidth_;
+  std::vector<std::int64_t> offset_;    // CSR offsets (degree prefix sums)
+  std::vector<std::int64_t> rev_slot_;  // directed edge -> receiver's slot index
+  std::vector<Slot> bufs_[2];
+  int cur_ = 0;             // bufs_[cur_] = delivered, bufs_[cur_^1] = staging
+  std::int64_t epoch_ = 0;  // deliveries so far (never reset)
+  congest::Metrics metrics_;
+
+  ThreadPool pool_;
+  std::vector<NodeId> chunk_bounds_;  // degree-weighted static partition
+  struct WorkerState {
+    congest::Metrics metrics;
+    NodeId fail_node = -1;
+    std::exception_ptr error;
+  };
+  std::vector<WorkerState> workers_;
+};
+
+}  // namespace dcolor::runtime

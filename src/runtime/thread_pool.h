@@ -1,0 +1,46 @@
+// Fixed-size thread pool with a full barrier per dispatch — the round
+// structure of the parallel engine maps directly onto it: one run() call
+// per phase, workers idle between phases.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dcolor::runtime {
+
+// num_threads-1 background workers plus the calling thread. run(job)
+// invokes job(i) for every i in [0, num_threads) — index 0 on the caller
+// — and returns only after all invocations finished. Exceptions must not
+// escape `job`; the engine catches them per node chunk and rethrows
+// deterministically after the barrier.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  void run(const std::function<void(int)>& job);
+
+ private:
+  void worker_loop(int index);
+
+  int num_threads_;
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(int)>* job_ = nullptr;
+  std::uint64_t generation_ = 0;
+  int pending_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace dcolor::runtime

@@ -1,0 +1,80 @@
+// Degree/connectivity sanity for the seeded scenario generators added
+// for the engine-era workloads: exact random-regular graphs and
+// Chung–Lu power-law graphs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/graph/generators.h"
+#include "src/graph/properties.h"
+#include "tests/test_support.h"
+
+namespace dcolor {
+namespace {
+
+TEST(RandomRegular, DegreesAreExact) {
+  for (auto [n, d] : std::vector<std::pair<NodeId, int>>{{50, 3}, {64, 6}, {81, 4}, {200, 8}}) {
+    const Graph g = make_random_regular(n, d, test::kTestSeed);
+    ASSERT_EQ(g.num_nodes(), n);
+    EXPECT_EQ(g.num_edges(), static_cast<std::int64_t>(n) * d / 2);
+    for (NodeId v = 0; v < n; ++v) EXPECT_EQ(g.degree(v), d) << "n=" << n << " d=" << d;
+  }
+}
+
+TEST(RandomRegular, ConnectedForDegreeAtLeastThree) {
+  // Random d-regular graphs are connected w.h.p. for d >= 3; the seeds
+  // are fixed, so this is a deterministic regression check.
+  for (std::uint64_t seed : {1ull, 2ull, 3ull, 4ull}) {
+    EXPECT_TRUE(is_connected(make_random_regular(60, 3, seed))) << seed;
+    EXPECT_TRUE(is_connected(make_random_regular(128, 4, seed))) << seed;
+  }
+}
+
+TEST(RandomRegular, DeterministicPerSeed) {
+  const Graph a = make_random_regular(64, 6, 42);
+  const Graph b = make_random_regular(64, 6, 42);
+  const Graph c = make_random_regular(64, 6, 43);
+  EXPECT_EQ(a.edge_list(), b.edge_list());
+  EXPECT_NE(a.edge_list(), c.edge_list());
+}
+
+TEST(Powerlaw, BasicShape) {
+  const NodeId n = 3000;
+  const Graph g = make_powerlaw(n, 2.5, test::kTestSeed);
+  ASSERT_EQ(g.num_nodes(), n);
+  ASSERT_GT(g.num_edges(), 0);
+  const double avg_deg = 2.0 * static_cast<double>(g.num_edges()) / n;
+  // Mean expected degree is scaled to ~8; allow generous sampling slack.
+  EXPECT_GT(avg_deg, 3.0);
+  EXPECT_LT(avg_deg, 16.0);
+  // Heavy tail: the hubs must dwarf the average degree.
+  EXPECT_GT(g.max_degree(), 4.0 * avg_deg);
+  // Simple graph invariants (no self loops / duplicates survive).
+  for (NodeId v = 0; v < n; ++v) {
+    const auto nb = g.neighbors(v);
+    for (std::size_t i = 0; i < nb.size(); ++i) {
+      EXPECT_NE(nb[i], v);
+      if (i > 0) {
+        EXPECT_LT(nb[i - 1], nb[i]);
+      }
+    }
+  }
+}
+
+TEST(Powerlaw, ExponentControlsTail) {
+  // A flatter exponent concentrates more mass in the hubs.
+  const Graph heavy = make_powerlaw(2000, 2.2, 5);
+  const Graph light = make_powerlaw(2000, 3.5, 5);
+  EXPECT_GT(heavy.max_degree(), light.max_degree());
+}
+
+TEST(Powerlaw, DeterministicPerSeed) {
+  const Graph a = make_powerlaw(500, 2.5, 7);
+  const Graph b = make_powerlaw(500, 2.5, 7);
+  const Graph c = make_powerlaw(500, 2.5, 8);
+  EXPECT_EQ(a.edge_list(), b.edge_list());
+  EXPECT_NE(a.edge_list(), c.edge_list());
+}
+
+}  // namespace
+}  // namespace dcolor

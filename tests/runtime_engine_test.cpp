@@ -1,0 +1,287 @@
+// The parallel engine's two core promises, tested head-on:
+//  1. CONGEST-contract parity — the engine rejects exactly the cheats
+//     congest::Network rejects (the violation corpus from
+//     tests/congest_test.cpp, replayed as NodePrograms).
+//  2. Execution parity — the Linial and derandomized-MIS ports produce
+//     bit-identical colorings/MIS sets AND bit-identical Metrics (rounds,
+//     messages, total_bits, max_message_bits) to the Network-driven
+//     implementations at 1 and N threads.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "src/coloring/derand_mis.h"
+#include "src/coloring/linial.h"
+#include "src/congest/network.h"
+#include "src/graph/generators.h"
+#include "src/runtime/linial_program.h"
+#include "src/runtime/mis_program.h"
+#include "src/runtime/parallel_engine.h"
+#include "tests/test_support.h"
+
+namespace dcolor {
+namespace {
+
+using congest::CongestViolation;
+using runtime::Inbox;
+using runtime::Outbox;
+using runtime::ParallelEngine;
+
+// Minimal scriptable program: run `rounds` rounds, with arbitrary send
+// behavior in init and an optional per-round hook.
+struct ScriptProgram final : runtime::NodeProgram {
+  std::function<void(NodeId, Outbox&)> on_init;
+  std::function<void(std::int64_t, NodeId, const Inbox&, Outbox&)> on_round_fn;
+  std::int64_t rounds_wanted = 1;
+
+  void init(NodeId v, Outbox& out) override {
+    if (on_init) on_init(v, out);
+  }
+  void on_round(std::int64_t r, NodeId v, const Inbox& in, Outbox& out) override {
+    if (on_round_fn) on_round_fn(r, v, in, out);
+  }
+  bool done(std::int64_t rounds) override { return rounds >= rounds_wanted; }
+};
+
+TEST(ParallelEngine, DeliversToTheRightSlots) {
+  auto g = make_path(3);  // 0-1-2
+  ParallelEngine eng(g, 2);
+  std::vector<std::vector<std::pair<NodeId, std::uint64_t>>> got(3);
+  ScriptProgram p;
+  p.on_init = [](NodeId v, Outbox& out) {
+    if (v == 0) out.send(1, 42, 6);
+    if (v == 2) out.send(1, 7, 3);
+  };
+  p.on_round_fn = [&](std::int64_t, NodeId v, const Inbox& in, Outbox&) {
+    in.for_each([&](NodeId from, std::uint64_t payload) { got[v].emplace_back(from, payload); });
+  };
+  eng.run(p);
+  EXPECT_TRUE(got[0].empty());
+  EXPECT_TRUE(got[2].empty());
+  ASSERT_EQ(got[1].size(), 2u);
+  // CSR order: slot 0 is neighbor 0, slot 1 is neighbor 2.
+  EXPECT_EQ(got[1][0], (std::pair<NodeId, std::uint64_t>{0, 42}));
+  EXPECT_EQ(got[1][1], (std::pair<NodeId, std::uint64_t>{2, 7}));
+  EXPECT_EQ(eng.metrics().rounds, 1);
+  EXPECT_EQ(eng.metrics().messages, 2);
+  EXPECT_EQ(eng.metrics().total_bits, 9);
+  EXPECT_EQ(eng.metrics().max_message_bits, 6);
+}
+
+TEST(ParallelEngine, StaleSlotsDoNotLeakAcrossRounds) {
+  auto g = make_path(2);
+  ParallelEngine eng(g, 2);
+  std::vector<int> inbox_sizes;
+  ScriptProgram p;
+  p.rounds_wanted = 3;
+  p.on_init = [](NodeId v, Outbox& out) {
+    if (v == 0) out.send(1, 1, 1);  // only round 1 carries a message
+  };
+  p.on_round_fn = [&](std::int64_t, NodeId v, const Inbox& in, Outbox&) {
+    if (v == 1) inbox_sizes.push_back(in.empty() ? 0 : 1);
+  };
+  eng.run(p);
+  EXPECT_EQ(inbox_sizes, (std::vector<int>{1, 0, 0}));
+  EXPECT_EQ(eng.metrics().rounds, 3);
+}
+
+// ---- violation corpus, engine side (mirrors tests/congest_test.cpp) ----
+
+void expect_violation(const Graph& g, int bandwidth, int threads,
+                      std::function<void(NodeId, Outbox&)> init_fn) {
+  ParallelEngine eng(g, threads, bandwidth);
+  ScriptProgram p;
+  p.on_init = std::move(init_fn);
+  EXPECT_THROW(eng.run(p), CongestViolation);
+}
+
+TEST(ParallelEngineViolations, MatchesNetworkCorpus) {
+  auto path3 = make_path(3);
+  for (int threads : {1, 3}) {
+    // Non-edge.
+    expect_violation(path3, 0, threads, [](NodeId v, Outbox& out) {
+      if (v == 0) out.send(2, 1, 1);
+    });
+    // Self-loop.
+    expect_violation(path3, 0, threads, [](NodeId v, Outbox& out) {
+      if (v == 1) out.send(1, 0, 1);
+    });
+    // Oversized message.
+    expect_violation(path3, 8, threads, [](NodeId v, Outbox& out) {
+      if (v == 0) out.send(1, 0, 9);
+    });
+    // Undersized declaration (255 needs 8 bits).
+    expect_violation(path3, 0, threads, [](NodeId v, Outbox& out) {
+      if (v == 0) out.send(1, 255, 4);
+    });
+    // Double send over one edge in one round.
+    expect_violation(path3, 0, threads, [](NodeId v, Outbox& out) {
+      if (v == 0) {
+        out.send(1, 1, 1);
+        out.send(1, 2, 2);
+      }
+    });
+    // Double send via send_all on a star center.
+    auto star = make_star(4);
+    expect_violation(star, 0, threads, [](NodeId v, Outbox& out) {
+      if (v == 0) {
+        out.send_all(1, 1);
+        out.send(1, 1, 1);
+      }
+    });
+  }
+}
+
+TEST(ParallelEngineViolations, LegalCorpusCounterpartsPass) {
+  // The allowed halves of the corpus cases must not throw.
+  auto path3 = make_path(3);
+  ParallelEngine eng(path3, 2, 8);
+  ScriptProgram p;
+  p.on_init = [](NodeId v, Outbox& out) {
+    if (v == 0) out.send(1, 255, 8);  // exactly at the budget
+    if (v == 1) out.send(0, 3, 2);    // opposite direction of an edge
+  };
+  EXPECT_NO_THROW(eng.run(p));
+  EXPECT_EQ(eng.metrics().messages, 2);
+  EXPECT_EQ(eng.metrics().max_message_bits, 8);
+
+  // The same edge is free again the next round.
+  ParallelEngine eng2(path3, 2);
+  ScriptProgram p2;
+  p2.rounds_wanted = 2;
+  p2.on_init = [](NodeId v, Outbox& out) {
+    if (v == 0) out.send(1, 1, 1);
+  };
+  p2.on_round_fn = [](std::int64_t r, NodeId v, const Inbox&, Outbox& out) {
+    if (r == 1 && v == 0) out.send(1, 1, 1);
+  };
+  EXPECT_NO_THROW(eng2.run(p2));
+  EXPECT_EQ(eng2.metrics().messages, 2);
+}
+
+TEST(ParallelEngine, FinalPhaseSendsAreRejectedAndDoNotPoisonReuse) {
+  auto g = make_path(2);
+  ParallelEngine eng(g, 2);
+  // Program bug: stages a send in the phase after which done() fires —
+  // there is no delivery round for it.
+  ScriptProgram bad;
+  bad.rounds_wanted = 1;
+  bad.on_round_fn = [](std::int64_t, NodeId v, const Inbox&, Outbox& out) {
+    if (v == 0) out.send(1, 1, 1);
+  };
+  EXPECT_THROW(eng.run(bad), std::logic_error);
+  // The same engine must stay usable: the dropped send's stamp must not
+  // masquerade as a duplicate send over that edge in the next run.
+  ScriptProgram good;
+  good.on_init = [](NodeId v, Outbox& out) {
+    if (v == 0) out.send(1, 1, 1);
+  };
+  int delivered = 0;
+  good.on_round_fn = [&](std::int64_t, NodeId v, const Inbox& in, Outbox&) {
+    if (v == 1 && !in.empty()) ++delivered;
+  };
+  EXPECT_NO_THROW(eng.run(good));
+  EXPECT_EQ(delivered, 1);
+}
+
+// ---- Linial parity ----
+
+void expect_metrics_eq(const congest::Metrics& a, const congest::Metrics& b) {
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.total_bits, b.total_bits);
+  EXPECT_EQ(a.max_message_bits, b.max_message_bits);
+}
+
+TEST(EngineParity, LinialMatchesNetworkOnCorpus) {
+  for (const auto& [name, g] : test::small_corpus()) {
+    const InducedSubgraph all = test::all_active(g);
+    congest::Network net(g);
+    const LinialResult ref = linial_coloring(net, all);
+    for (int threads : {1, 2, 4}) {
+      ParallelEngine eng(g, threads);
+      const LinialResult got = runtime::linial_coloring(eng, all);
+      EXPECT_EQ(got.coloring, ref.coloring) << name << " threads=" << threads;
+      EXPECT_EQ(got.num_colors, ref.num_colors) << name;
+      EXPECT_EQ(got.iterations, ref.iterations) << name;
+      expect_metrics_eq(eng.metrics(), net.metrics());
+      EXPECT_TRUE(test::proper_on_active(all, got.coloring)) << name;
+    }
+  }
+}
+
+TEST(EngineParity, LinialMatchesOnActiveSubgraph) {
+  auto g = make_grid(8, 8);
+  std::vector<bool> member(g.num_nodes(), false);
+  for (NodeId v = 0; v < g.num_nodes(); v += 2) member[v] = true;  // sparse active set
+  const InducedSubgraph active(g, member);
+  congest::Network net(g);
+  const LinialResult ref = linial_coloring(net, active);
+  ParallelEngine eng(g, 3);
+  const LinialResult got = runtime::linial_coloring(eng, active);
+  EXPECT_EQ(got.coloring, ref.coloring);
+  expect_metrics_eq(eng.metrics(), net.metrics());
+}
+
+// ---- derandomized MIS parity ----
+
+TEST(EngineParity, DerandMisMatchesNetwork) {
+  std::vector<std::pair<std::string, Graph>> graphs;
+  graphs.emplace_back("cycle24", make_cycle(24));
+  graphs.emplace_back("grid5x5", make_grid(5, 5));
+  graphs.emplace_back("gnp48", make_gnp(48, 0.12, 9));
+  graphs.emplace_back("star16", make_star(16));
+  graphs.emplace_back("near_regular", make_near_regular(40, 5, 5));
+  // Disconnected: exercises the per-component driver on both sides.
+  {
+    std::vector<std::pair<NodeId, NodeId>> e;
+    for (NodeId i = 0; i < 10; ++i) e.emplace_back(i, (i + 1) % 10);           // cycle
+    for (NodeId i = 10; i + 1 < 18; ++i) e.emplace_back(i, i + 1);             // path
+    graphs.emplace_back("disconnected", Graph::from_edges(20, std::move(e)));  // + isolated
+  }
+
+  for (const auto& [name, g] : graphs) {
+    const DerandMisResult ref = derandomized_mis(g);
+    for (int threads : {1, 4}) {
+      const DerandMisResult got = runtime::derandomized_mis(g, threads);
+      EXPECT_EQ(got.in_mis, ref.in_mis) << name << " threads=" << threads;
+      EXPECT_EQ(got.iterations, ref.iterations) << name;
+      expect_metrics_eq(got.metrics, ref.metrics);
+      EXPECT_TRUE(test::valid_mis(test::all_active(g), got.in_mis)) << name;
+    }
+  }
+}
+
+TEST(EngineParity, ThreadCountCannotPerturbResults) {
+  auto g = make_powerlaw(600, 2.5, 11);  // skewed degrees stress the chunking
+  const InducedSubgraph all = test::all_active(g);
+  ParallelEngine eng1(g, 1);
+  const LinialResult ref = runtime::linial_coloring(eng1, all);
+  for (int threads : {2, 3, 8}) {
+    ParallelEngine eng(g, threads);
+    const LinialResult got = runtime::linial_coloring(eng, all);
+    EXPECT_EQ(got.coloring, ref.coloring) << threads;
+    expect_metrics_eq(eng.metrics(), eng1.metrics());
+  }
+}
+
+TEST(ParallelEngine, TinyGraphs) {
+  // Single node and empty graph must run (zero rounds of Linial).
+  Graph one = Graph::from_edges(1, {});
+  ParallelEngine eng(one, 4);
+  const LinialResult r1 = runtime::linial_coloring(eng, test::all_active(one));
+  EXPECT_EQ(r1.num_colors, 1);
+  EXPECT_EQ(eng.metrics().rounds, 0);
+
+  Graph empty = Graph::from_edges(0, {});
+  ParallelEngine eng0(empty, 2);
+  const LinialResult r0 = runtime::linial_coloring(eng0, test::all_active(empty));
+  EXPECT_TRUE(r0.coloring.empty());
+
+  const DerandMisResult mis1 = runtime::derandomized_mis(one, 2);
+  EXPECT_TRUE(mis1.in_mis[0]);
+}
+
+}  // namespace
+}  // namespace dcolor
