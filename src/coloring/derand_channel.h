@@ -1,16 +1,36 @@
-// Aggregation/broadcast channel used by the seed-fixing loop (Lemma 2.6).
+// Communication abstractions of the Theorem 1.1 pipeline.
 //
-// Fixing one seed bit needs (a) a global sum of two per-node conditional
-// expectations and (b) a one-bit broadcast of the chosen value. Theorem
-// 1.1 runs this over a BFS tree of the whole communication graph (O(D)
-// rounds per bit); Corollary 1.2 runs it over the associated tree of a
-// network-decomposition cluster (O(log^3 n) rounds per bit, with the
-// decomposition's congestion factor charged by the caller).
+// Two layers, mirroring the MisTransport split in derand_mis.h:
+//
+//  * DerandChannel — the aggregation/broadcast channel used by the
+//    seed-fixing loop (Lemma 2.6). Fixing one seed bit needs (a) a global
+//    sum of two per-node conditional expectations and (b) a one-bit
+//    broadcast of the chosen value. Theorem 1.1 runs this over a BFS tree
+//    of the whole communication graph (O(D) rounds per bit); Corollary
+//    1.2 runs it over the associated tree of a network-decomposition
+//    cluster (O(log^3 n) rounds per bit, with the decomposition's
+//    congestion factor charged by the caller).
+//
+//  * ColoringTransport — every communication primitive the shared
+//    Lemma 2.1 / Theorem 1.1 core (color_one_eighth, list_color_subset)
+//    issues: the Linial input coloring, the aggregation tree, one-round
+//    exchanges along explicit conflict-edge lists, the seed-fixing
+//    channel ops, and the conflict-resolution MIS. The core is written
+//    once over this interface; congest::Network provides the sequential
+//    reference execution (NetworkColoringTransport below) and
+//    runtime::ParallelEngine the parallel one
+//    (runtime::EngineColoringTransport in src/runtime/theorem11_program.h).
+//    Implementations must charge identical CONGEST costs for identical
+//    call sequences — the conformance suite in
+//    tests/derand_channel_test.cpp holds them to it.
 #pragma once
 
+#include <cstdint>
+#include <optional>
 #include <utility>
 #include <vector>
 
+#include "src/coloring/linial.h"
 #include "src/congest/bfs_tree.h"
 #include "src/congest/network.h"
 
@@ -42,6 +62,101 @@ class BfsChannel final : public DerandChannel {
 
  private:
   const congest::BfsTree* tree_;
+};
+
+class ColoringTransport {
+ public:
+  virtual ~ColoringTransport() = default;
+
+  virtual const Graph& graph() const = 0;
+  virtual int bandwidth_bits() const = 0;
+
+  // Proper input coloring of the active subgraph, Linial-style (from ids
+  // when `initial` is null, otherwise from the given proper coloring).
+  virtual LinialResult linial(const InducedSubgraph& active,
+                              const std::vector<std::int64_t>* initial,
+                              std::int64_t initial_colors) = 0;
+
+  // Build the aggregation tree rooted at `root` (graph must be
+  // connected); later aggregate_pair/broadcast_bit calls run over it.
+  // Transports constructed around an external channel (a cluster tree)
+  // already have one and must not be asked to build another.
+  virtual void build_tree(NodeId root) = 0;
+
+  // One round: every node v with senders[v] != 0 sends payloads[v],
+  // declared `bits` wide, to every u in targets[v]. Each targets[v] must
+  // be an ascending subset of v's adjacency. Wide payloads are split into
+  // ceil(bits/B) pipelined chunks: only the first chunk travels through
+  // the simulator, the extra chunks are charged as idle rounds, and
+  // receivers observe the sender's full payload. If `from` is non-null,
+  // (*from)[v] is set to the ids v received from, in ascending order.
+  virtual void exchange_along(const std::vector<std::vector<NodeId>>& targets,
+                              const std::vector<char>& senders,
+                              const std::vector<std::uint64_t>& payloads, int bits,
+                              std::vector<std::vector<NodeId>>* from) = 0;
+
+  // Seed-fixing channel ops (Lemma 2.6), over the tree from build_tree
+  // (or the externally supplied channel).
+  virtual std::pair<long double, long double> aggregate_pair(
+      const std::vector<long double>& values0, const std::vector<long double>& values1) = 0;
+  virtual void broadcast_bit(int bit) = 0;
+
+  // Conflict resolution of Lemma 2.1: on the materialized conflict graph
+  // `conf` (max degree <= 3) restricted to `membership`, run Linial from
+  // the phase's input coloring and then the color-class MIS. Only rounds
+  // are charged to this transport (the conflict graph is a subgraph of G,
+  // so its messages travel on G's edges inside the same rounds).
+  virtual std::vector<bool> conflict_mis(const Graph& conf, const std::vector<bool>& membership,
+                                         const std::vector<std::int64_t>& input_coloring,
+                                         std::int64_t input_colors) = 0;
+
+  // Charged idle rounds (pipelined chunks, conservative accounting).
+  virtual void tick(std::int64_t rounds) = 0;
+
+  virtual const congest::Metrics& metrics() const = 0;
+};
+
+// Reference transport: the sequential CONGEST simulator. Every primitive
+// is exactly the call sequence the pre-transport implementation issued,
+// so metrics are unchanged and the parallel engine has a golden model.
+class NetworkColoringTransport final : public ColoringTransport {
+ public:
+  // Self-managed aggregation: build_tree floods a BFS tree and installs a
+  // BfsChannel over it (the Theorem 1.1 configuration).
+  explicit NetworkColoringTransport(congest::Network& net) : net_(&net) {}
+
+  // External aggregation channel (e.g. a ClusterChannel over a network-
+  // decomposition tree, as in Corollary 1.2); build_tree must not be
+  // called.
+  NetworkColoringTransport(congest::Network& net, DerandChannel& channel)
+      : net_(&net), channel_(&channel) {}
+
+  const Graph& graph() const override { return net_->graph(); }
+  int bandwidth_bits() const override { return net_->bandwidth_bits(); }
+
+  LinialResult linial(const InducedSubgraph& active, const std::vector<std::int64_t>* initial,
+                      std::int64_t initial_colors) override;
+  void build_tree(NodeId root) override;
+  void exchange_along(const std::vector<std::vector<NodeId>>& targets,
+                      const std::vector<char>& senders,
+                      const std::vector<std::uint64_t>& payloads, int bits,
+                      std::vector<std::vector<NodeId>>* from) override;
+  std::pair<long double, long double> aggregate_pair(
+      const std::vector<long double>& values0, const std::vector<long double>& values1) override;
+  void broadcast_bit(int bit) override;
+  std::vector<bool> conflict_mis(const Graph& conf, const std::vector<bool>& membership,
+                                 const std::vector<std::int64_t>& input_coloring,
+                                 std::int64_t input_colors) override;
+  void tick(std::int64_t rounds) override { net_->tick(rounds); }
+  const congest::Metrics& metrics() const override { return net_->metrics(); }
+
+  congest::Network& network() { return *net_; }
+
+ private:
+  congest::Network* net_;
+  DerandChannel* channel_ = nullptr;
+  std::optional<congest::BfsTree> tree_;       // when self-built
+  std::optional<BfsChannel> owned_channel_;    // channel over tree_
 };
 
 }  // namespace dcolor

@@ -3,8 +3,6 @@
 #include <algorithm>
 #include <cassert>
 
-#include "src/coloring/linial.h"
-#include "src/coloring/mis.h"
 #include "src/hash/bitwise_family.h"
 #include "src/hash/gf_family.h"
 #include "src/util/bits.h"
@@ -20,25 +18,6 @@ struct Range {
   int size() const { return hi - lo; }
 };
 
-// Sends `payload` of `bits` bits from every node along its alive conflict
-// edges, splitting into ceil(bits/B) sequential rounds if needed. Only the
-// first chunk carries real simulator traffic; the rest are charged.
-void exchange_along_alive(congest::Network& net, const std::vector<std::vector<NodeId>>& alive,
-                          const std::vector<bool>& participating,
-                          const std::vector<std::uint64_t>& payload, int bits) {
-  const int bw = net.bandwidth_bits();
-  const int chunks = (bits + bw - 1) / bw;
-  const int first_bits = std::min(bits, bw);
-  const std::uint64_t mask =
-      first_bits >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << first_bits) - 1);
-  for (NodeId v = 0; v < static_cast<NodeId>(alive.size()); ++v) {
-    if (!participating[v]) continue;
-    for (NodeId u : alive[v]) net.send(v, u, payload[v] & mask, first_bits);
-  }
-  net.advance_round();
-  if (chunks > 1) net.tick(chunks - 1);
-}
-
 }  // namespace
 
 int precision_bits_for(int max_degree, int color_bits, bool avoid_mis) {
@@ -49,12 +28,11 @@ int precision_bits_for(int max_degree, int color_bits, bool avoid_mis) {
   return std::max(1, ceil_log2(target));
 }
 
-PartialColoringStats color_one_eighth(congest::Network& net, DerandChannel& channel,
-                                      InducedSubgraph& active, ListInstance& inst,
-                                      std::vector<Color>& colors,
+PartialColoringStats color_one_eighth(ColoringTransport& t, InducedSubgraph& active,
+                                      ListInstance& inst, std::vector<Color>& colors,
                                       const std::vector<std::int64_t>& input_coloring,
                                       std::int64_t K, const PartialColoringOptions& opts) {
-  const Graph& g = net.graph();
+  const Graph& g = t.graph();
   const NodeId n = g.num_nodes();
   const int width = inst.color_bits();  // ceil(log C)
 
@@ -62,12 +40,12 @@ PartialColoringStats color_one_eighth(congest::Network& net, DerandChannel& chan
   stats.phases = width;
 
   // --- Setup: active nodes, degrees, max degree of the active subgraph.
-  std::vector<bool> is_active(n, false);
+  std::vector<char> is_active(n, 0);
   std::vector<NodeId> active_nodes;
   int delta = 0;
   for (NodeId v = 0; v < n; ++v) {
     if (!active.contains(v)) continue;
-    is_active[v] = true;
+    is_active[v] = 1;
     active_nodes.push_back(v);
     delta = std::max(delta, active.degree(v));
   }
@@ -109,8 +87,9 @@ PartialColoringStats color_one_eighth(congest::Network& net, DerandChannel& chan
   {
     std::vector<std::uint64_t> psi(n, 0);
     for (NodeId v : active_nodes) psi[v] = static_cast<std::uint64_t>(input_coloring[v]);
-    exchange_along_alive(net, alive, is_active, psi,
-                         bit_width_of(static_cast<std::uint64_t>(std::max<std::int64_t>(K - 1, 1))));
+    t.exchange_along(alive, is_active, psi,
+                     bit_width_of(static_cast<std::uint64_t>(std::max<std::int64_t>(K - 1, 1))),
+                     nullptr);
   }
 
   std::vector<CoinSpec> specs(n);
@@ -143,7 +122,7 @@ PartialColoringStats color_one_eighth(congest::Network& net, DerandChannel& chan
     {
       std::vector<std::uint64_t> taus(n, 0);
       for (NodeId v : active_nodes) taus[v] = specs[v].threshold;
-      exchange_along_alive(net, alive, is_active, taus, b + 1);
+      t.exchange_along(alive, is_active, taus, b + 1, nullptr);
     }
 
     // Conflict edge list (u < v) for this phase.
@@ -186,9 +165,9 @@ PartialColoringStats color_one_eighth(congest::Network& net, DerandChannel& chan
           x1[v] += J1[1][1] / k1v;
         }
       }
-      const auto [sum0, sum1] = channel.aggregate_pair(net, x0, x1);
+      const auto [sum0, sum1] = t.aggregate_pair(x0, x1);
       const int bit = sum0 <= sum1 ? 0 : 1;
-      channel.broadcast_bit(net, bit);
+      t.broadcast_bit(bit);
       engine->fix_next_bit(bit);
     }
 
@@ -211,7 +190,7 @@ PartialColoringStats color_one_eighth(congest::Network& net, DerandChannel& chan
     {
       std::vector<std::uint64_t> bits(n, 0);
       for (NodeId v : active_nodes) bits[v] = static_cast<std::uint64_t>(new_bit[v]);
-      exchange_along_alive(net, alive, is_active, bits, 1);
+      t.exchange_along(alive, is_active, bits, 1, nullptr);
     }
     for (NodeId v : active_nodes) {
       std::erase_if(alive[v], [&](NodeId u) { return new_bit[u] != new_bit[v]; });
@@ -244,7 +223,7 @@ PartialColoringStats color_one_eighth(congest::Network& net, DerandChannel& chan
         keep[v] = true;
       }
     }
-    net.tick(1);  // the id-comparison round
+    t.tick(1);  // the id-comparison round
   } else {
     // V_{<4}: conflict degree <= 3; the induced conflict graph has max
     // degree 3. Linial + color-class MIS selects >= |V_{<4}|/4 nodes.
@@ -259,17 +238,12 @@ PartialColoringStats color_one_eighth(congest::Network& net, DerandChannel& chan
       }
     }
     Graph conf = Graph::from_edges(n, std::move(conf_edges));
-    congest::Network conf_net(conf, net.bandwidth_bits());
     std::vector<bool> memb(n, false);
     for (NodeId v : active_nodes) memb[v] = low[v];
-    InducedSubgraph conf_sub(conf, memb);
-    // Start Linial from the given K-coloring (proper on any subgraph).
-    LinialResult lin = linial_coloring(conf_net, conf_sub, &input_coloring, K);
-    const std::vector<bool> in_mis =
-        mis_by_color_classes(conf_net, conf_sub, lin.coloring, lin.num_colors);
-    // Charge the conflict-subgraph rounds to the main network: these
-    // messages travel over edges of G (the conflict graph is a subgraph).
-    net.tick(conf_net.metrics().rounds);
+    // Linial (from the given K-coloring, proper on any subgraph) + the
+    // color-class MIS, both on the conflict graph; the transport charges
+    // the rounds to the main network.
+    const std::vector<bool> in_mis = t.conflict_mis(conf, memb, input_coloring, K);
     for (NodeId v : active_nodes) keep[v] = low[v] && in_mis[v];
   }
 
@@ -278,22 +252,33 @@ PartialColoringStats color_one_eighth(congest::Network& net, DerandChannel& chan
   for (NodeId v : active_nodes) {
     if (keep[v]) newly.push_back(v);
   }
+  std::vector<char> notifiers(n, 0);
+  std::vector<std::uint64_t> announce(n, 0);
+  std::vector<std::vector<NodeId>> notify_targets(n);
   for (NodeId v : newly) {
     colors[v] = candidate[v];
-    active.for_each_neighbor(v, [&](NodeId u) {
-      net.send(v, u, static_cast<std::uint64_t>(candidate[v]), width == 0 ? 1 : width);
-    });
+    notifiers[v] = 1;
+    announce[v] = static_cast<std::uint64_t>(candidate[v]);
+    active.for_each_neighbor(v, [&](NodeId u) { notify_targets[v].push_back(u); });
   }
-  net.advance_round();
+  std::vector<std::vector<NodeId>> heard(n);
+  t.exchange_along(notify_targets, notifiers, announce, width == 0 ? 1 : width, &heard);
   for (NodeId v : newly) active.remove(v);
   for (NodeId v : active_nodes) {
     if (keep[v]) continue;
-    for (const congest::Incoming& m : net.inbox(v)) {
-      inst.remove_color(v, static_cast<Color>(m.payload));
-    }
+    for (NodeId u : heard[v]) inst.remove_color(v, candidate[u]);
   }
   stats.newly_colored = static_cast<NodeId>(newly.size());
   return stats;
+}
+
+PartialColoringStats color_one_eighth(congest::Network& net, DerandChannel& channel,
+                                      InducedSubgraph& active, ListInstance& inst,
+                                      std::vector<Color>& colors,
+                                      const std::vector<std::int64_t>& input_coloring,
+                                      std::int64_t K, const PartialColoringOptions& opts) {
+  NetworkColoringTransport transport(net, channel);
+  return color_one_eighth(transport, active, inst, colors, input_coloring, K, opts);
 }
 
 }  // namespace dcolor

@@ -17,6 +17,11 @@
 //     (epsilon smaller by a (Delta+1) factor) so that half the nodes end
 //     with at most ONE conflict and a single id-comparison round replaces
 //     the MIS.
+//
+// The algorithm is written once over the ColoringTransport abstraction
+// (derand_channel.h): congest::Network drives the sequential reference
+// execution, runtime::ParallelEngine the parallel one — with bit-identical
+// colors, stats, and Metrics.
 #pragma once
 
 #include <cstdint>
@@ -55,16 +60,23 @@ struct PartialColoringStats {
   std::vector<Fraction> potential_after_phase;
 };
 
-// Runs one invocation of Lemma 2.1 on the subgraph induced by `active`.
+// Runs one invocation of Lemma 2.1 on the subgraph induced by `active`,
+// over an arbitrary transport (whose graph is the ORIGINAL graph G).
 //
-//  * net            — communication network over the ORIGINAL graph G.
-//  * channel        — aggregation channel (BFS tree of G, or a cluster tree).
+//  * transport      — communication primitives + aggregation channel.
 //  * active         — current uncolored nodes; colored ones are removed.
 //  * inst           — list instance; colored nodes' colors are pruned from
 //                     neighbors' lists.
 //  * colors         — output coloring (kUncolored entries get filled).
 //  * input_coloring — proper K-coloring of the active subgraph.
 //  * K              — number of input colors.
+PartialColoringStats color_one_eighth(ColoringTransport& transport, InducedSubgraph& active,
+                                      ListInstance& inst, std::vector<Color>& colors,
+                                      const std::vector<std::int64_t>& input_coloring,
+                                      std::int64_t K, const PartialColoringOptions& opts);
+
+// Convenience overload for callers that hold a Network + DerandChannel
+// pair (the pre-transport API): wraps them in a NetworkColoringTransport.
 PartialColoringStats color_one_eighth(congest::Network& net, DerandChannel& channel,
                                       InducedSubgraph& active, ListInstance& inst,
                                       std::vector<Color>& colors,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <utility>
 
 #include "src/coloring/linial.h"
 #include "src/congest/bfs_tree.h"
@@ -9,17 +10,17 @@
 
 namespace dcolor {
 
-int list_color_subset(congest::Network& net, DerandChannel& channel, InducedSubgraph& active,
-                      ListInstance& inst, std::vector<Color>& colors,
+int list_color_subset(ColoringTransport& t, InducedSubgraph& active, ListInstance& inst,
+                      std::vector<Color>& colors,
                       const std::vector<std::int64_t>& input_coloring, std::int64_t K,
                       const PartialColoringOptions& opts,
                       std::vector<PartialColoringStats>* stats) {
   NodeId remaining = 0;
-  for (NodeId v = 0; v < net.graph().num_nodes(); ++v) remaining += active.contains(v) ? 1 : 0;
+  for (NodeId v = 0; v < t.graph().num_nodes(); ++v) remaining += active.contains(v) ? 1 : 0;
   int iterations = 0;
   while (remaining > 0) {
     PartialColoringStats st =
-        color_one_eighth(net, channel, active, inst, colors, input_coloring, K, opts);
+        color_one_eighth(t, active, inst, colors, input_coloring, K, opts);
     if (stats != nullptr) stats->push_back(st);
     ++iterations;
     assert(st.newly_colored >= 1 && "Lemma 2.1 guarantees progress");
@@ -28,35 +29,52 @@ int list_color_subset(congest::Network& net, DerandChannel& channel, InducedSubg
   return iterations;
 }
 
-Theorem11Result theorem11_solve(const Graph& g, ListInstance inst,
-                                const PartialColoringOptions& opts) {
+int list_color_subset(congest::Network& net, DerandChannel& channel, InducedSubgraph& active,
+                      ListInstance& inst, std::vector<Color>& colors,
+                      const std::vector<std::int64_t>& input_coloring, std::int64_t K,
+                      const PartialColoringOptions& opts,
+                      std::vector<PartialColoringStats>* stats) {
+  NetworkColoringTransport transport(net, channel);
+  return list_color_subset(transport, active, inst, colors, input_coloring, K, opts, stats);
+}
+
+Theorem11Result theorem11_run(ColoringTransport& t, ListInstance inst,
+                              const PartialColoringOptions& opts) {
   Theorem11Result res;
+  const Graph& g = t.graph();
   const NodeId n = g.num_nodes();
   res.colors.assign(n, kUncolored);
   if (n == 0) return res;
 
-  congest::Network net(g, opts.bandwidth_bits);
   InducedSubgraph active(g, std::vector<bool>(n, true));
 
   // Initial K = O(Delta^2 polylog) coloring via Linial (from ids).
-  LinialResult lin = linial_coloring(net, active);
+  LinialResult lin = t.linial(active, nullptr, 0);
   res.input_colors = lin.num_colors;
 
-  // BFS aggregation tree (rooted at node 0; any designated leader works).
-  congest::BfsTree tree = congest::BfsTree::build(net, 0);
-  BfsChannel channel(tree);
+  // Aggregation tree (rooted at node 0; any designated leader works).
+  t.build_tree(0);
 
-  res.iterations = list_color_subset(net, channel, active, inst, res.colors, lin.coloring,
+  res.iterations = list_color_subset(t, active, inst, res.colors, lin.coloring,
                                      lin.num_colors, opts, &res.per_iteration);
-  res.metrics = net.metrics();
+  res.metrics = t.metrics();
   return res;
 }
 
-Theorem11Result theorem11_solve_per_component(const Graph& g, ListInstance inst,
-                                              const PartialColoringOptions& opts) {
+Theorem11Result theorem11_solve(const Graph& g, ListInstance inst,
+                                const PartialColoringOptions& opts) {
+  if (g.num_nodes() == 0) return Theorem11Result{};
+  congest::Network net(g, opts.bandwidth_bits);
+  NetworkColoringTransport transport(net);
+  return theorem11_run(transport, std::move(inst), opts);
+}
+
+Theorem11Result theorem11_solve_components(
+    const Graph& g, ListInstance inst,
+    const std::function<Theorem11Result(const Graph&, ListInstance)>& solve_connected) {
   int num_comp = 0;
   const std::vector<int> comp = connected_components(g, &num_comp);
-  if (num_comp <= 1) return theorem11_solve(g, std::move(inst), opts);
+  if (num_comp <= 1) return solve_connected(g, std::move(inst));
 
   Theorem11Result res;
   res.colors.assign(g.num_nodes(), kUncolored);
@@ -80,7 +98,7 @@ Theorem11Result theorem11_solve_per_component(const Graph& g, ListInstance inst,
     std::vector<std::vector<Color>> lists(global.size());
     for (std::size_t i = 0; i < global.size(); ++i) lists[i] = inst.list(global[i]);
     ListInstance sub_inst(sub, inst.color_space(), std::move(lists));
-    Theorem11Result sub_res = theorem11_solve(sub, std::move(sub_inst), opts);
+    Theorem11Result sub_res = solve_connected(sub, std::move(sub_inst));
     for (std::size_t i = 0; i < global.size(); ++i) res.colors[global[i]] = sub_res.colors[i];
     // Components run in parallel: round count is the max, traffic adds up.
     res.metrics.rounds = std::max(res.metrics.rounds, sub_res.metrics.rounds);
@@ -92,6 +110,14 @@ Theorem11Result theorem11_solve_per_component(const Graph& g, ListInstance inst,
     res.input_colors = std::max(res.input_colors, sub_res.input_colors);
   }
   return res;
+}
+
+Theorem11Result theorem11_solve_per_component(const Graph& g, ListInstance inst,
+                                              const PartialColoringOptions& opts) {
+  return theorem11_solve_components(
+      g, std::move(inst), [&opts](const Graph& sub, ListInstance sub_inst) {
+        return theorem11_solve(sub, std::move(sub_inst), opts);
+      });
 }
 
 }  // namespace dcolor

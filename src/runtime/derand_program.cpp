@@ -1,0 +1,295 @@
+#include "src/runtime/derand_program.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+
+#include "src/congest/bfs_tree.h"  // to_fixed/from_fixed codec
+#include "src/util/bits.h"
+
+namespace dcolor::runtime {
+namespace {
+
+// Synchronous flooding, the NodeProgram form of congest::BfsTree::build:
+// a node joins the tree the round it first hears a joined neighbor
+// (smallest sender id wins) and floods its own id once. Charges
+// eccentricity(root) + 1 rounds, one send_all per node.
+class BfsBuildProgram final : public NodeProgram {
+ public:
+  BfsBuildProgram(const Graph& g, NodeId root, TreeData* out) : root_(root), out_(out) {
+    out_->root = root;
+    out_->depth = 0;
+    out_->level.assign(g.num_nodes(), -1);
+    out_->parent.assign(g.num_nodes(), -1);
+    out_->children.assign(g.num_nodes(), {});
+    out_->level[root] = 0;
+    id_bits_ = bit_width_of(static_cast<std::uint64_t>(g.num_nodes()));
+  }
+
+  void init(NodeId v, Outbox& out) override {
+    if (v != root_) return;
+    out.send_all(static_cast<std::uint64_t>(v), id_bits_);
+    progress_.store(true, std::memory_order_relaxed);
+  }
+
+  void on_round(std::int64_t round, NodeId v, const Inbox& in, Outbox& out) override {
+    if (out_->level[v] >= 0) return;
+    NodeId best_parent = -1;
+    in.for_each([&](NodeId, std::uint64_t payload) {
+      const NodeId from = static_cast<NodeId>(payload);
+      if (best_parent < 0 || from < best_parent) best_parent = from;
+    });
+    if (best_parent < 0) return;
+    out_->level[v] = static_cast<int>(round);
+    out_->parent[v] = best_parent;
+    out.send_all(static_cast<std::uint64_t>(v), id_bits_);
+    progress_.store(true, std::memory_order_relaxed);
+  }
+
+  bool done(std::int64_t) override { return !progress_.exchange(false); }
+
+ private:
+  NodeId root_;
+  TreeData* out_;
+  int id_bits_ = 0;
+  std::atomic<bool> progress_{false};
+};
+
+// Level-synchronous convergecast (the NodeProgram form of
+// congest::BfsTree::aggregate): in phase r the nodes at level depth-r
+// combine their children's accumulators and forward toward the root.
+// Only the first bandwidth-sized chunk travels through the simulator —
+// the parent reads the child's full accumulator across the phase barrier
+// — exactly the accounting the Network implementation uses; extra chunks
+// are charged by the caller via tick.
+class TreeAggregateProgram final : public NodeProgram {
+ public:
+  TreeAggregateProgram(const TreeData& t, std::vector<std::uint64_t> values,
+                       int bits_per_value, int bandwidth)
+      : tree_(&t), acc_(std::move(values)), bits_per_value_(bits_per_value) {
+    first_chunk_bits_ = std::min(bits_per_value_, bandwidth);
+  }
+
+  void init(NodeId v, Outbox& out) override {
+    if (tree_->depth > 0 && tree_->level[v] == tree_->depth) send_up(v, out);
+  }
+
+  void on_round(std::int64_t round, NodeId v, const Inbox& in, Outbox& out) override {
+    if (tree_->level[v] != tree_->depth - static_cast<int>(round)) return;
+    // Saturating sum over children in ascending-id order (matching the
+    // Network inbox order; the combine is order-independent anyway).
+    in.for_each([&](NodeId from, std::uint64_t) {
+      const std::uint64_t s = acc_[v] + acc_[from];
+      acc_[v] = s < acc_[v] ? ~std::uint64_t{0} : s;
+    });
+    if (v != tree_->root) send_up(v, out);
+  }
+
+  bool done(std::int64_t rounds) override { return rounds == tree_->depth; }
+
+  // Wave r only ever acts on level depth-r (and the init wave on the
+  // deepest level): dispatch exactly that level.
+  const std::vector<NodeId>* roster(std::int64_t round) override {
+    const int lev = tree_->depth - static_cast<int>(round);
+    return &tree_->by_level[lev];
+  }
+
+  std::uint64_t result() const { return acc_[tree_->root]; }
+
+ private:
+  void send_up(NodeId v, Outbox& out) {
+    const std::uint64_t first_chunk =
+        first_chunk_bits_ >= 64 ? acc_[v]
+                                : (acc_[v] & ((std::uint64_t{1} << first_chunk_bits_) - 1));
+    out.send_nth(tree_->parent_nth[v], first_chunk, first_chunk_bits_);
+  }
+
+  const TreeData* tree_;
+  std::vector<std::uint64_t> acc_;
+  int bits_per_value_;
+  int first_chunk_bits_;
+};
+
+// Root-to-all broadcast over the tree (NodeProgram form of
+// congest::BfsTree::broadcast): level-r nodes forward to their children
+// in phase r; depth rounds, one message per tree edge.
+class TreeBroadcastProgram final : public NodeProgram {
+ public:
+  TreeBroadcastProgram(const TreeData& t, std::uint64_t value, int bits, int bandwidth)
+      : tree_(&t) {
+    first_chunk_bits_ = std::min(bits, bandwidth);
+    first_chunk_ = first_chunk_bits_ >= 64
+                       ? value
+                       : (value & ((std::uint64_t{1} << first_chunk_bits_) - 1));
+  }
+
+  void init(NodeId v, Outbox& out) override {
+    if (v == tree_->root && tree_->depth > 0) forward(v, out);
+  }
+
+  void on_round(std::int64_t round, NodeId v, const Inbox&, Outbox& out) override {
+    if (tree_->level[v] == static_cast<int>(round)) forward(v, out);
+  }
+
+  bool done(std::int64_t rounds) override { return rounds == tree_->depth; }
+
+  // Wave r forwards from level r (init from the root): dispatch exactly
+  // that level.
+  const std::vector<NodeId>* roster(std::int64_t round) override {
+    return &tree_->by_level[static_cast<int>(round)];
+  }
+
+ private:
+  void forward(NodeId v, Outbox& out) {
+    const auto& nth = tree_->children_nth[v];
+    for (std::size_t k = 0; k < nth.size(); ++k) out.send_nth(nth[k], first_chunk_, first_chunk_bits_);
+  }
+
+  const TreeData* tree_;
+  std::uint64_t first_chunk_;
+  int first_chunk_bits_;
+};
+
+}  // namespace
+
+void build_tree_data(ParallelEngine& eng, NodeId root, TreeData* out) {
+  const Graph& g = eng.graph();
+  BfsBuildProgram prog(g, root, out);
+  eng.run(prog);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    assert(out->level[v] >= 0 && "build_tree_data requires a connected graph");
+    out->depth = std::max(out->depth, out->level[v]);
+    if (out->parent[v] >= 0) out->children[out->parent[v]].push_back(v);
+  }
+  out->by_level.assign(static_cast<std::size_t>(out->depth) + 1, {});
+  out->parent_nth.assign(g.num_nodes(), -1);
+  out->children_nth.assign(g.num_nodes(), {});
+  auto nth_of = [&g](NodeId v, NodeId u) {
+    const auto nb = g.neighbors(v);
+    return static_cast<int>(std::lower_bound(nb.begin(), nb.end(), u) - nb.begin());
+  };
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    out->by_level[out->level[v]].push_back(v);
+    if (out->parent[v] >= 0) out->parent_nth[v] = nth_of(v, out->parent[v]);
+    out->children_nth[v].reserve(out->children[v].size());
+    for (NodeId c : out->children[v]) out->children_nth[v].push_back(nth_of(v, c));
+  }
+}
+
+std::uint64_t aggregate_fixed_sum(ParallelEngine& eng, const TreeData& tree,
+                                  const std::vector<long double>& values) {
+  std::vector<std::uint64_t> enc(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) enc[i] = congest::to_fixed(values[i]);
+  constexpr int kBits = 64;
+  TreeAggregateProgram prog(tree, std::move(enc), kBits, eng.bandwidth_bits());
+  eng.run(prog);
+  const int chunks = (kBits + eng.bandwidth_bits() - 1) / eng.bandwidth_bits();
+  if (chunks > 1) eng.tick(chunks - 1);
+  return prog.result();
+}
+
+void tree_broadcast(ParallelEngine& eng, const TreeData& tree, std::uint64_t value, int bits) {
+  TreeBroadcastProgram prog(tree, value, bits, eng.bandwidth_bits());
+  eng.run(prog);
+  const int chunks = (bits + eng.bandwidth_bits() - 1) / eng.bandwidth_bits();
+  if (chunks > 1) eng.tick(chunks - 1);
+}
+
+void ExchangeProgram::init(NodeId v, Outbox& out) {
+  if (!(*senders_)[v]) return;
+  const auto nb = g_->neighbors(v);
+  for (std::size_t j = 0; j < nb.size(); ++j) {
+    if ((*active_)[nb[j]]) out.send_nth(static_cast<int>(j), (*payloads_)[v], bits_);
+  }
+}
+
+void ExchangeProgram::on_round(std::int64_t, NodeId v, const Inbox& in, Outbox&) {
+  if (received_ != nullptr) (*received_)[v] = in.empty() ? 0 : 1;
+}
+
+void AlongExchangeProgram::init(NodeId v, Outbox& out) {
+  if (!(*senders_)[v]) return;
+  // Two-pointer merge over the sorted adjacency: targets[v] is an
+  // ascending subset of it, so each send is O(1) instead of the O(log
+  // deg) edge lookup of Outbox::send. A target outside the adjacency is
+  // a non-edge send and must throw exactly as the Network transport
+  // does, not silently hit a neighboring slot.
+  const auto nb = g_->neighbors(v);
+  std::size_t j = 0;
+  for (NodeId u : (*targets_)[v]) {
+    while (j < nb.size() && nb[j] < u) ++j;
+    if (j >= nb.size() || nb[j] != u) {
+      throw congest::CongestViolation("exchange target is not a neighbor (send over non-edge)");
+    }
+    out.send_nth(static_cast<int>(j), (*payloads_)[v] & mask_, first_chunk_bits_);
+    ++j;
+  }
+}
+
+void AlongExchangeProgram::on_round(std::int64_t, NodeId v, const Inbox& in, Outbox&) {
+  if (from_ == nullptr) return;
+  auto& fv = (*from_)[v];
+  fv.clear();
+  in.for_each([&](NodeId from, std::uint64_t) { fv.push_back(from); });
+}
+
+const std::vector<NodeId>* AlongExchangeProgram::roster(std::int64_t round) {
+  static const std::vector<NodeId> kNobody;
+  if (round == 1 && from_ == nullptr) return &kNobody;
+  return nullptr;
+}
+
+MisColorClassesProgram::MisColorClassesProgram(const InducedSubgraph& active,
+                                               const std::vector<std::int64_t>& coloring,
+                                               std::int64_t num_colors)
+    : active_(&active), coloring_(&coloring), num_colors_(num_colors) {
+  const NodeId n = active.base().num_nodes();
+  in_mis_.assign(n, 0);
+  dominated_.assign(n, 0);
+}
+
+void MisColorClassesProgram::join(NodeId v, Outbox& out) {
+  in_mis_[v] = 1;
+  dominated_[v] = 1;
+  const auto nb = active_->base().neighbors(v);
+  for (std::size_t j = 0; j < nb.size(); ++j) {
+    if (active_->contains(nb[j])) out.send_nth(static_cast<int>(j), 1, 1);
+  }
+}
+
+void MisColorClassesProgram::init(NodeId v, Outbox& out) {
+  if (num_colors_ > 0 && active_->contains(v) && (*coloring_)[v] == 0) join(v, out);
+}
+
+void MisColorClassesProgram::on_round(std::int64_t round, NodeId v, const Inbox& in,
+                                      Outbox& out) {
+  if (!active_->contains(v)) return;
+  if (!in.empty()) dominated_[v] = 1;
+  if ((*coloring_)[v] == round && !dominated_[v]) join(v, out);
+}
+
+std::vector<bool> MisColorClassesProgram::in_mis() const {
+  std::vector<bool> out(in_mis_.size());
+  for (std::size_t v = 0; v < in_mis_.size(); ++v) out[v] = in_mis_[v] != 0;
+  return out;
+}
+
+std::pair<long double, long double> TreeEngineChannel::aggregate_pair(
+    ParallelEngine& eng, const std::vector<long double>& values0,
+    const std::vector<long double>& values1) {
+  // One convergecast wave carries both sums, exactly as BfsChannel: the
+  // first word is aggregated over the tree, the second rides the same
+  // wave as one extra pipelined chunk (summed in-memory, one charged
+  // round).
+  const long double s0 = congest::from_fixed(aggregate_fixed_sum(eng, *tree_, values0));
+  long double s1 = 0.0L;
+  for (long double v : values1) s1 += v;
+  eng.tick(1);
+  return {s0, s1};
+}
+
+void TreeEngineChannel::broadcast_bit(ParallelEngine& eng, int bit) {
+  tree_broadcast(eng, *tree_, static_cast<std::uint64_t>(bit), 1);
+}
+
+}  // namespace dcolor::runtime

@@ -1,0 +1,173 @@
+// Shared derandomization NodePrograms: the engine-side building blocks of
+// every seed-fixing pipeline (the derandomized MIS and the Theorem 1.1
+// list coloring) — BFS-tree construction, level-synchronous tree
+// aggregation and broadcast, one-round exchanges, the color-class MIS,
+// and the EngineChannel counterpart of DerandChannel.
+//
+// Each program is the NodeProgram form of one congest::Network primitive
+// and charges the exact CONGEST costs of its reference implementation
+// (congest::BfsTree, the Network exchange loops, mis_by_color_classes):
+// identical rounds, messages, bit totals and max message size — the
+// property the conformance suite in tests/derand_channel_test.cpp and
+// the parity suite in tests/runtime_engine_test.cpp enforce.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/runtime/parallel_engine.h"
+
+namespace dcolor::runtime {
+
+// BFS tree as plain per-node arrays (the engine-side mirror of
+// congest::BfsTree's structure), plus the dispatch accelerators the
+// level-synchronous programs use: per-level node rosters (so a wave only
+// visits its own level, see NodeProgram::roster) and the CSR positions
+// of each node's parent / children (so tree sends are O(1) send_nth
+// instead of O(log deg) edge lookups).
+struct TreeData {
+  NodeId root = 0;
+  int depth = 0;
+  std::vector<int> level;
+  std::vector<NodeId> parent;
+  std::vector<std::vector<NodeId>> children;
+  std::vector<std::vector<NodeId>> by_level;      // ascending ids per level
+  std::vector<int> parent_nth;                    // parent's index in v's adjacency
+  std::vector<std::vector<int>> children_nth;     // aligned with `children`
+};
+
+// Builds `out` by synchronous flooding from `root` on the engine's graph
+// (must be connected), charging eccentricity(root) + 1 rounds and one
+// send_all per node — exactly congest::BfsTree::build.
+void build_tree_data(ParallelEngine& eng, NodeId root, TreeData* out);
+
+// Level-synchronous convergecast of the saturating sum of Q32.32
+// encodings over the tree (the engine form of congest::aggregate_fixed_sum
+// + BfsTree::aggregate): depth rounds plus ceil(64/B)-1 charged pipelined
+// rounds, one message per tree edge.
+std::uint64_t aggregate_fixed_sum(ParallelEngine& eng, const TreeData& tree,
+                                  const std::vector<long double>& values);
+
+// Root-to-all broadcast of one `bits`-bit value over the tree (the engine
+// form of BfsTree::broadcast): depth rounds plus charged pipelining, one
+// message per tree edge.
+void tree_broadcast(ParallelEngine& eng, const TreeData& tree, std::uint64_t value, int bits);
+
+// One round of scatter: sender nodes deliver their payload to every
+// neighbor passing the `active` filter; optionally records who received.
+class ExchangeProgram final : public NodeProgram {
+ public:
+  ExchangeProgram(const Graph& g, const std::vector<char>& senders,
+                  const std::vector<std::uint64_t>& payloads, int bits,
+                  const std::vector<char>& active, std::vector<char>* received)
+      : g_(&g), senders_(&senders), payloads_(&payloads), bits_(bits), active_(&active),
+        received_(received) {}
+
+  void init(NodeId v, Outbox& out) override;
+  void on_round(std::int64_t round, NodeId v, const Inbox& in, Outbox& out) override;
+  bool done(std::int64_t rounds) override { return rounds == 1; }
+
+ private:
+  const Graph* g_;
+  const std::vector<char>* senders_;
+  const std::vector<std::uint64_t>* payloads_;
+  int bits_;
+  const std::vector<char>* active_;
+  std::vector<char>* received_;
+};
+
+// One round of scatter along explicit per-node target lists (the alive
+// conflict edges of a Lemma 2.1 phase): each sender v delivers the first
+// bandwidth-sized chunk of payloads[v] to every u in targets[v]. Each
+// targets[v] must be an ascending subset of v's adjacency. If `from` is
+// non-null, (*from)[v] collects the ids v received from, ascending.
+// Callers charge extra pipelined chunks via ParallelEngine::tick.
+class AlongExchangeProgram final : public NodeProgram {
+ public:
+  AlongExchangeProgram(const Graph& g, const std::vector<std::vector<NodeId>>& targets,
+                       const std::vector<char>& senders,
+                       const std::vector<std::uint64_t>& payloads, int first_chunk_bits,
+                       std::vector<std::vector<NodeId>>* from)
+      : g_(&g), targets_(&targets), senders_(&senders), payloads_(&payloads),
+        first_chunk_bits_(first_chunk_bits), from_(from) {
+    mask_ = first_chunk_bits_ >= 64 ? ~std::uint64_t{0}
+                                    : ((std::uint64_t{1} << first_chunk_bits_) - 1);
+  }
+
+  void init(NodeId v, Outbox& out) override;
+  void on_round(std::int64_t round, NodeId v, const Inbox& in, Outbox& out) override;
+  bool done(std::int64_t rounds) override { return rounds == 1; }
+  // Without a collection sink the delivery phase is a no-op for every
+  // node: dispatch nobody.
+  const std::vector<NodeId>* roster(std::int64_t round) override;
+
+ private:
+  const Graph* g_;
+  const std::vector<std::vector<NodeId>>* targets_;
+  const std::vector<char>* senders_;
+  const std::vector<std::uint64_t>* payloads_;
+  int first_chunk_bits_;
+  std::uint64_t mask_;
+  std::vector<std::vector<NodeId>>* from_;
+};
+
+// MIS by iterating the color classes of a proper coloring (the engine
+// form of dcolor::mis_by_color_classes): class c joins in phase c and
+// announces with a 1-bit message; num_colors rounds total.
+class MisColorClassesProgram final : public NodeProgram {
+ public:
+  MisColorClassesProgram(const InducedSubgraph& active,
+                         const std::vector<std::int64_t>& coloring, std::int64_t num_colors);
+
+  void init(NodeId v, Outbox& out) override;
+  void on_round(std::int64_t round, NodeId v, const Inbox& in, Outbox& out) override;
+  bool done(std::int64_t rounds) override { return rounds == num_colors_; }
+
+  // Membership indicator after the run.
+  std::vector<bool> in_mis() const;
+
+ private:
+  void join(NodeId v, Outbox& out);
+
+  const InducedSubgraph* active_;
+  const std::vector<std::int64_t>* coloring_;
+  std::int64_t num_colors_;
+  std::vector<char> in_mis_;
+  std::vector<char> dominated_;
+};
+
+// Engine-side counterpart of DerandChannel: the aggregation/broadcast
+// pair of the seed-fixing loop (Lemma 2.6), as NodeProgram runs. The
+// BFS-tree instance below serves Theorem 1.1; a cluster-tree instance
+// over a network-decomposition cluster (Corollary 1.2) implements the
+// same interface against a cluster's associated tree.
+class EngineChannel {
+ public:
+  virtual ~EngineChannel() = default;
+
+  virtual std::pair<long double, long double> aggregate_pair(
+      ParallelEngine& eng, const std::vector<long double>& values0,
+      const std::vector<long double>& values1) = 0;
+
+  virtual void broadcast_bit(ParallelEngine& eng, int bit) = 0;
+};
+
+// Channel over a BFS TreeData of the (connected) communication graph —
+// the engine mirror of BfsChannel, with identical charging.
+class TreeEngineChannel final : public EngineChannel {
+ public:
+  explicit TreeEngineChannel(const TreeData& tree) : tree_(&tree) {}
+
+  std::pair<long double, long double> aggregate_pair(
+      ParallelEngine& eng, const std::vector<long double>& values0,
+      const std::vector<long double>& values1) override;
+
+  void broadcast_bit(ParallelEngine& eng, int bit) override;
+
+ private:
+  const TreeData* tree_;
+};
+
+}  // namespace dcolor::runtime

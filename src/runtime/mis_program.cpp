@@ -1,176 +1,8 @@
 #include "src/runtime/mis_program.h"
 
-#include <algorithm>
-#include <atomic>
-#include <cassert>
-
-#include "src/congest/bfs_tree.h"  // to_fixed/from_fixed codec
 #include "src/runtime/linial_program.h"
-#include "src/util/bits.h"
 
 namespace dcolor::runtime {
-namespace {
-
-// Synchronous flooding, the NodeProgram form of congest::BfsTree::build:
-// a node joins the tree the round it first hears a joined neighbor
-// (smallest sender id wins) and floods its own id once. Charges
-// eccentricity(root) + 1 rounds, one send_all per node.
-class BfsBuildProgram final : public NodeProgram {
- public:
-  BfsBuildProgram(const Graph& g, NodeId root, TreeData* out) : root_(root), out_(out) {
-    out_->root = root;
-    out_->depth = 0;
-    out_->level.assign(g.num_nodes(), -1);
-    out_->parent.assign(g.num_nodes(), -1);
-    out_->children.assign(g.num_nodes(), {});
-    out_->level[root] = 0;
-    id_bits_ = bit_width_of(static_cast<std::uint64_t>(g.num_nodes()));
-  }
-
-  void init(NodeId v, Outbox& out) override {
-    if (v != root_) return;
-    out.send_all(static_cast<std::uint64_t>(v), id_bits_);
-    progress_.store(true, std::memory_order_relaxed);
-  }
-
-  void on_round(std::int64_t round, NodeId v, const Inbox& in, Outbox& out) override {
-    if (out_->level[v] >= 0) return;
-    NodeId best_parent = -1;
-    in.for_each([&](NodeId, std::uint64_t payload) {
-      const NodeId from = static_cast<NodeId>(payload);
-      if (best_parent < 0 || from < best_parent) best_parent = from;
-    });
-    if (best_parent < 0) return;
-    out_->level[v] = static_cast<int>(round);
-    out_->parent[v] = best_parent;
-    out.send_all(static_cast<std::uint64_t>(v), id_bits_);
-    progress_.store(true, std::memory_order_relaxed);
-  }
-
-  bool done(std::int64_t) override { return !progress_.exchange(false); }
-
- private:
-  NodeId root_;
-  TreeData* out_;
-  int id_bits_ = 0;
-  std::atomic<bool> progress_{false};
-};
-
-// Level-synchronous convergecast (the NodeProgram form of
-// congest::BfsTree::aggregate): in phase r the nodes at level depth-r
-// combine their children's accumulators and forward toward the root.
-// Only the first bandwidth-sized chunk travels through the simulator —
-// the parent reads the child's full accumulator across the phase barrier
-// — exactly the accounting the Network implementation uses; extra chunks
-// are charged by the caller via tick.
-class TreeAggregateProgram final : public NodeProgram {
- public:
-  TreeAggregateProgram(const TreeData& t, std::vector<std::uint64_t> values,
-                       int bits_per_value, int bandwidth)
-      : tree_(&t), acc_(std::move(values)), bits_per_value_(bits_per_value) {
-    first_chunk_bits_ = std::min(bits_per_value_, bandwidth);
-  }
-
-  void init(NodeId v, Outbox& out) override {
-    if (tree_->depth > 0 && tree_->level[v] == tree_->depth) send_up(v, out);
-  }
-
-  void on_round(std::int64_t round, NodeId v, const Inbox& in, Outbox& out) override {
-    if (tree_->level[v] != tree_->depth - static_cast<int>(round)) return;
-    // Saturating sum over children in ascending-id order (matching the
-    // Network inbox order; the combine is order-independent anyway).
-    in.for_each([&](NodeId from, std::uint64_t) {
-      const std::uint64_t s = acc_[v] + acc_[from];
-      acc_[v] = s < acc_[v] ? ~std::uint64_t{0} : s;
-    });
-    if (v != tree_->root) send_up(v, out);
-  }
-
-  bool done(std::int64_t rounds) override { return rounds == tree_->depth; }
-
-  std::uint64_t result() const { return acc_[tree_->root]; }
-
- private:
-  void send_up(NodeId v, Outbox& out) {
-    const std::uint64_t first_chunk =
-        first_chunk_bits_ >= 64 ? acc_[v]
-                                : (acc_[v] & ((std::uint64_t{1} << first_chunk_bits_) - 1));
-    out.send(tree_->parent[v], first_chunk, first_chunk_bits_);
-  }
-
-  const TreeData* tree_;
-  std::vector<std::uint64_t> acc_;
-  int bits_per_value_;
-  int first_chunk_bits_;
-};
-
-// Root-to-all broadcast over the tree (NodeProgram form of
-// congest::BfsTree::broadcast): level-r nodes forward to their children
-// in phase r; depth rounds, one message per tree edge.
-class TreeBroadcastProgram final : public NodeProgram {
- public:
-  TreeBroadcastProgram(const TreeData& t, std::uint64_t value, int bits, int bandwidth)
-      : tree_(&t) {
-    first_chunk_bits_ = std::min(bits, bandwidth);
-    first_chunk_ = first_chunk_bits_ >= 64
-                       ? value
-                       : (value & ((std::uint64_t{1} << first_chunk_bits_) - 1));
-  }
-
-  void init(NodeId v, Outbox& out) override {
-    if (v == tree_->root && tree_->depth > 0) forward(v, out);
-  }
-
-  void on_round(std::int64_t round, NodeId v, const Inbox&, Outbox& out) override {
-    if (tree_->level[v] == static_cast<int>(round)) forward(v, out);
-  }
-
-  bool done(std::int64_t rounds) override { return rounds == tree_->depth; }
-
- private:
-  void forward(NodeId v, Outbox& out) {
-    for (NodeId c : tree_->children[v]) out.send(c, first_chunk_, first_chunk_bits_);
-  }
-
-  const TreeData* tree_;
-  std::uint64_t first_chunk_;
-  int first_chunk_bits_;
-};
-
-// One round of scatter: sender nodes deliver their payload to every
-// neighbor passing the `active` filter; optionally records who received.
-class ExchangeProgram final : public NodeProgram {
- public:
-  ExchangeProgram(const Graph& g, const std::vector<char>& senders,
-                  const std::vector<std::uint64_t>& payloads, int bits,
-                  const std::vector<char>& active, std::vector<char>* received)
-      : g_(&g), senders_(&senders), payloads_(&payloads), bits_(bits), active_(&active),
-        received_(received) {}
-
-  void init(NodeId v, Outbox& out) override {
-    if (!(*senders_)[v]) return;
-    const auto nb = g_->neighbors(v);
-    for (std::size_t j = 0; j < nb.size(); ++j) {
-      if ((*active_)[nb[j]]) out.send_nth(static_cast<int>(j), (*payloads_)[v], bits_);
-    }
-  }
-
-  void on_round(std::int64_t, NodeId v, const Inbox& in, Outbox&) override {
-    if (received_ != nullptr) (*received_)[v] = in.empty() ? 0 : 1;
-  }
-
-  bool done(std::int64_t rounds) override { return rounds == 1; }
-
- private:
-  const Graph* g_;
-  const std::vector<char>* senders_;
-  const std::vector<std::uint64_t>* payloads_;
-  int bits_;
-  const std::vector<char>* active_;
-  std::vector<char>* received_;
-};
-
-}  // namespace
 
 EngineMisTransport::EngineMisTransport(const Graph& g, int num_threads)
     : g_(&g), eng_(g, num_threads) {}
@@ -181,13 +13,7 @@ LinialResult EngineMisTransport::linial_ids() {
 }
 
 void EngineMisTransport::build_tree(NodeId root) {
-  BfsBuildProgram prog(*g_, root, &tree_);
-  eng_.run(prog);
-  for (NodeId v = 0; v < g_->num_nodes(); ++v) {
-    assert(tree_.level[v] >= 0 && "build_tree requires a connected graph");
-    tree_.depth = std::max(tree_.depth, tree_.level[v]);
-    if (tree_.parent[v] >= 0) tree_.children[tree_.parent[v]].push_back(v);
-  }
+  build_tree_data(eng_, root, &tree_);
 }
 
 void EngineMisTransport::exchange(const std::vector<char>& senders,
@@ -199,21 +25,11 @@ void EngineMisTransport::exchange(const std::vector<char>& senders,
 }
 
 std::uint64_t EngineMisTransport::aggregate_fixed_sum(const std::vector<long double>& values) {
-  std::vector<std::uint64_t> enc(values.size());
-  for (std::size_t i = 0; i < values.size(); ++i) enc[i] = congest::to_fixed(values[i]);
-  constexpr int kBits = 64;
-  TreeAggregateProgram prog(tree_, std::move(enc), kBits, eng_.bandwidth_bits());
-  eng_.run(prog);
-  const int chunks = (kBits + eng_.bandwidth_bits() - 1) / eng_.bandwidth_bits();
-  if (chunks > 1) eng_.tick(chunks - 1);
-  return prog.result();
+  return runtime::aggregate_fixed_sum(eng_, tree_, values);
 }
 
 void EngineMisTransport::broadcast(std::uint64_t value, int bits) {
-  TreeBroadcastProgram prog(tree_, value, bits, eng_.bandwidth_bits());
-  eng_.run(prog);
-  const int chunks = (bits + eng_.bandwidth_bits() - 1) / eng_.bandwidth_bits();
-  if (chunks > 1) eng_.tick(chunks - 1);
+  tree_broadcast(eng_, tree_, value, bits);
 }
 
 DerandMisResult derandomized_mis(const Graph& g, int num_threads) {

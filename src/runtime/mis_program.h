@@ -1,29 +1,21 @@
 // Derandomized MIS on the parallel engine: an MisTransport whose
 // primitives (Linial coin coloring, BFS-tree build, one-round exchanges,
-// tree aggregation/broadcast) are NodeProgram phases executed by the
-// ParallelEngine, charging the exact CONGEST costs of the
-// congest::Network reference transport. Combined with the shared core in
-// src/coloring/derand_mis.cpp this yields bit-identical MIS results,
-// iteration counts and Metrics at every thread count.
+// tree aggregation/broadcast) are the shared derandomization NodePrograms
+// (derand_program.h) executed by the ParallelEngine, charging the exact
+// CONGEST costs of the congest::Network reference transport. Combined
+// with the shared core in src/coloring/derand_mis.cpp this yields
+// bit-identical MIS results, iteration counts and Metrics at every
+// thread count.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include "src/coloring/derand_mis.h"
+#include "src/runtime/derand_program.h"
 #include "src/runtime/parallel_engine.h"
 
 namespace dcolor::runtime {
-
-// BFS tree as plain per-node arrays (the engine-side mirror of
-// congest::BfsTree's structure).
-struct TreeData {
-  NodeId root = 0;
-  int depth = 0;
-  std::vector<int> level;
-  std::vector<NodeId> parent;
-  std::vector<std::vector<NodeId>> children;
-};
 
 class EngineMisTransport final : public MisTransport {
  public:

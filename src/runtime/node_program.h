@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "src/graph/graph.h"
 
@@ -86,6 +87,21 @@ class NodeProgram {
   // (rounds == 0) and after each completed round; return true to stop.
   // Non-const so programs can consume per-phase progress flags.
   virtual bool done(std::int64_t rounds) = 0;
+
+  // Optional sparse-phase hint, called on the coordinator thread before
+  // each phase (`round` 0 = init, then 1-based like on_round). A non-null
+  // return promises that every node NOT in the list is a no-op this
+  // phase: its hook would stage no sends and change no observable state.
+  // The engine then dispatches only the listed nodes (ascending ids),
+  // which cannot perturb results or Metrics at any thread count — it
+  // merely skips work the program declared dead. Level-synchronous tree
+  // programs cut a factor depth(tree) this way. Return nullptr (the
+  // default) for dense phases; the list must stay valid until the phase
+  // barrier.
+  virtual const std::vector<NodeId>* roster(std::int64_t round) {
+    (void)round;
+    return nullptr;
+  }
 };
 
 }  // namespace dcolor::runtime

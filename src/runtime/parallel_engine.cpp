@@ -101,16 +101,29 @@ void Outbox::send_all(std::uint64_t payload, int bits) {
 }
 
 template <typename F>
-void ParallelEngine::run_phase(F&& per_node) {
+void ParallelEngine::run_phase(const std::vector<NodeId>* roster, F&& per_node) {
   for (WorkerState& w : workers_) {
     w.metrics = congest::Metrics{};
     w.fail_node = -1;
     w.error = nullptr;
   }
+  const int T = pool_.num_threads();
   pool_.run([&](int t) {
     WorkerState& ws = workers_[t];
     Outbox out(this, &ws.metrics);
-    for (NodeId v = chunk_bounds_[t]; v < chunk_bounds_[t + 1]; ++v) {
+    // Dense phases use the precomputed degree-weighted chunking; rostered
+    // phases split the (ascending) roster into equal contiguous ranges.
+    // Either partition depends only on (graph, roster, T), never on
+    // timing, so thread count cannot perturb anything.
+    const std::size_t r_lo =
+        roster ? roster->size() * static_cast<std::size_t>(t) / T : 0;
+    const std::size_t r_hi =
+        roster ? roster->size() * (static_cast<std::size_t>(t) + 1) / T : 0;
+    const NodeId lo = roster ? 0 : chunk_bounds_[t];
+    const NodeId hi = roster ? 0 : chunk_bounds_[t + 1];
+    const std::size_t count = roster ? r_hi - r_lo : static_cast<std::size_t>(hi - lo);
+    for (std::size_t i = 0; i < count; ++i) {
+      const NodeId v = roster ? (*roster)[r_lo + i] : lo + static_cast<NodeId>(i);
       out.self_ = v;
       try {
         per_node(v, out);
@@ -143,7 +156,7 @@ std::int64_t ParallelEngine::run(NodeProgram& program) {
   // two keeps them strictly behind every stamp this run can read.
   epoch_ += 2;
   std::int64_t before_phase = metrics_.messages;
-  run_phase([&program](NodeId v, Outbox& out) { program.init(v, out); });
+  run_phase(program.roster(0), [&program](NodeId v, Outbox& out) { program.init(v, out); });
   std::int64_t last_phase_messages = metrics_.messages - before_phase;
   std::int64_t rounds = 0;
   while (!program.done(rounds)) {
@@ -153,7 +166,7 @@ std::int64_t ParallelEngine::run(NodeProgram& program) {
     ++rounds;
     const std::int64_t r = rounds;
     before_phase = metrics_.messages;
-    run_phase([&, r](NodeId v, Outbox& out) {
+    run_phase(program.roster(r), [&, r](NodeId v, Outbox& out) {
       const Inbox in(delivered() + offset_[v], g_->neighbors(v).data(), g_->degree(v),
                      epoch_);
       program.on_round(r, v, in, out);

@@ -91,8 +91,11 @@ class ParallelEngine {
 
   void stage(NodeId from, int nth, std::uint64_t payload, int bits, congest::Metrics& m);
 
+  // per_node(NodeId, Outbox&); defined in .cpp. A non-null roster
+  // restricts the dispatch to the listed nodes (the program vouches that
+  // all others are no-ops this phase, see NodeProgram::roster).
   template <typename F>
-  void run_phase(F&& per_node);  // per_node(NodeId, Outbox&); defined in .cpp
+  void run_phase(const std::vector<NodeId>* roster, F&& per_node);
 
   const Graph* g_;
   int bandwidth_;

@@ -13,11 +13,13 @@
 
 #include "src/coloring/derand_mis.h"
 #include "src/coloring/linial.h"
+#include "src/coloring/theorem11.h"
 #include "src/congest/network.h"
 #include "src/graph/generators.h"
 #include "src/runtime/linial_program.h"
 #include "src/runtime/mis_program.h"
 #include "src/runtime/parallel_engine.h"
+#include "src/runtime/theorem11_program.h"
 #include "tests/test_support.h"
 
 namespace dcolor {
@@ -281,6 +283,82 @@ TEST(ParallelEngine, TinyGraphs) {
 
   const DerandMisResult mis1 = runtime::derandomized_mis(one, 2);
   EXPECT_TRUE(mis1.in_mis[0]);
+}
+
+// ---- Theorem 1.1 parity ----
+
+void expect_stats_eq(const std::vector<PartialColoringStats>& a,
+                     const std::vector<PartialColoringStats>& b, const std::string& where) {
+  ASSERT_EQ(a.size(), b.size()) << where;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].phases, b[i].phases) << where << " iter " << i;
+    EXPECT_EQ(a[i].seed_bits, b[i].seed_bits) << where << " iter " << i;
+    EXPECT_EQ(a[i].precision_bits, b[i].precision_bits) << where << " iter " << i;
+    EXPECT_EQ(a[i].active_before, b[i].active_before) << where << " iter " << i;
+    EXPECT_EQ(a[i].newly_colored, b[i].newly_colored) << where << " iter " << i;
+    ASSERT_EQ(a[i].potential_after_phase.size(), b[i].potential_after_phase.size()) << where;
+    for (std::size_t l = 0; l < a[i].potential_after_phase.size(); ++l) {
+      EXPECT_TRUE(a[i].potential_after_phase[l] == b[i].potential_after_phase[l])
+          << where << " iter " << i << " phase " << l;
+    }
+  }
+}
+
+TEST(EngineParity, Theorem11MatchesNetworkOnCorpus) {
+  for (const auto& [name, g] : test::small_corpus()) {
+    auto inst = ListInstance::random_lists(g, 3 * (g.max_degree() + 1), test::kTestSeed + 5);
+    const ListInstance pristine = inst;
+    const Theorem11Result ref = theorem11_solve_per_component(g, inst);
+    for (int threads : {1, 4}) {
+      const Theorem11Result got = runtime::theorem11_coloring(g, inst, threads);
+      EXPECT_EQ(got.colors, ref.colors) << name << " threads=" << threads;
+      EXPECT_EQ(got.iterations, ref.iterations) << name;
+      EXPECT_EQ(got.input_colors, ref.input_colors) << name;
+      expect_metrics_eq(got.metrics, ref.metrics);
+      expect_stats_eq(got.per_iteration, ref.per_iteration, name);
+      EXPECT_TRUE(pristine.valid_solution(got.colors)) << name;
+    }
+  }
+}
+
+TEST(EngineParity, Theorem11MatchesAcrossVariants) {
+  // The Section-4 avoid-MIS variant, the GF coin family, and a narrow
+  // bandwidth all reroute different transport paths (id-comparison
+  // round, generic pair-prob engine, chunked exchanges); parity must
+  // hold on each.
+  auto g = make_gnp(40, 0.14, test::kTestSeed + 9);
+  struct Case {
+    const char* name;
+    PartialColoringOptions opts;
+  };
+  std::vector<Case> cases(3);
+  cases[0] = {"avoid_mis", {}};
+  cases[0].opts.avoid_mis = true;
+  cases[1] = {"gf_family", {}};
+  cases[1].opts.family = CoinFamilyKind::kGF;
+  cases[2] = {"narrow_bw", {}};
+  cases[2].opts.bandwidth_bits = 12;
+  for (const auto& [name, opts] : cases) {
+    auto inst = ListInstance::delta_plus_one(g);
+    const Theorem11Result ref = theorem11_solve_per_component(g, inst, opts);
+    const Theorem11Result got = runtime::theorem11_coloring(g, inst, 3, opts);
+    EXPECT_EQ(got.colors, ref.colors) << name;
+    EXPECT_EQ(got.iterations, ref.iterations) << name;
+    expect_metrics_eq(got.metrics, ref.metrics);
+    EXPECT_TRUE(inst.valid_solution(got.colors)) << name;
+  }
+}
+
+TEST(EngineParity, Theorem11ThreadCountCannotPerturbResults) {
+  auto g = make_near_regular(72, 6, test::kTestSeed + 11);
+  auto inst = ListInstance::delta_plus_one(g);
+  const Theorem11Result ref = runtime::theorem11_coloring(g, inst, 1);
+  for (int threads : {2, 3, 8}) {
+    const Theorem11Result got = runtime::theorem11_coloring(g, inst, threads);
+    EXPECT_EQ(got.colors, ref.colors) << threads;
+    EXPECT_EQ(got.iterations, ref.iterations) << threads;
+    expect_metrics_eq(got.metrics, ref.metrics);
+  }
 }
 
 }  // namespace
