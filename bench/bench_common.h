@@ -1,19 +1,20 @@
-// Shared table-printing and shape-fitting helpers for the experiment
-// harness. Every bench binary regenerates one experiment from
-// EXPERIMENTS.md: it prints the measured series next to the paper's
-// predicted complexity expression and the fit ratio measured/predicted,
-// which should be roughly flat if the implementation matches the claimed
-// shape. Tables also emit machine-readable JSON (print_json / --json) so
-// trajectory files (BENCH_*.json) can be produced directly from the
-// binaries.
+// DEPRECATED shim. The experiment harness that used to live here grew
+// into the src/benchkit subsystem (scenario registry + runner + canonical
+// JSON writer behind the dcolor-bench binary); new workloads should be
+// REGISTER_SCENARIO translation units under bench/scenarios/ instead of
+// standalone mains. The Table pretty-printer survives for ad-hoc use, and
+// print_json / the flag helpers delegate to benchkit so output and
+// parsing behavior cannot drift: numeric cells are emitted as JSON
+// numbers (not strings) and control characters are escaped.
 #pragma once
 
 #include <algorithm>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <string>
 #include <vector>
+
+#include "src/benchkit/flags.h"
+#include "src/benchkit/json.h"
 
 namespace dcolor::bench {
 
@@ -60,22 +61,14 @@ class Table {
     for (const Row& r : rows_) line(r.cells);
   }
 
-  // {"title":...,"headers":[...],"rows":[[...]]} on one stream; cell
-  // values stay strings, so the output is lossless w.r.t. the table.
+  // DEPRECATED: delegates to benchkit's canonical table writer
+  // ({"title":...,"headers":[...],"rows":[[...]]}); numeric cells are
+  // emitted as JSON numbers.
   void print_json(const std::string& title, std::FILE* out = stdout) const {
-    std::fprintf(out, "{\"title\":%s,\"headers\":[", json_quote(title).c_str());
-    for (std::size_t c = 0; c < headers_.size(); ++c) {
-      std::fprintf(out, "%s%s", c ? "," : "", json_quote(headers_[c]).c_str());
-    }
-    std::fprintf(out, "],\"rows\":[");
-    for (std::size_t r = 0; r < rows_.size(); ++r) {
-      std::fprintf(out, "%s[", r ? "," : "");
-      for (std::size_t c = 0; c < rows_[r].cells.size(); ++c) {
-        std::fprintf(out, "%s%s", c ? "," : "", json_quote(rows_[r].cells[c]).c_str());
-      }
-      std::fprintf(out, "]");
-    }
-    std::fprintf(out, "]}\n");
+    std::vector<std::vector<std::string>> rows;
+    rows.reserve(rows_.size());
+    for (const Row& r : rows_) rows.push_back(r.cells);
+    std::fprintf(out, "%s\n", benchkit::table_json(title, headers_, rows).c_str());
   }
 
   // Table-mode or JSON-mode output in one call, for binaries that take
@@ -89,24 +82,6 @@ class Table {
   }
 
  private:
-  static std::string json_quote(const std::string& s) {
-    std::string out = "\"";
-    for (char ch : s) {
-      if (ch == '"' || ch == '\\') {
-        out += '\\';
-        out += ch;
-      } else if (static_cast<unsigned char>(ch) < 0x20) {
-        char buf[8];
-        std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
-        out += buf;
-      } else {
-        out += ch;
-      }
-    }
-    out += '"';
-    return out;
-  }
-
   static std::string to_cell(const char* s) { return s; }
   static std::string to_cell(const std::string& s) { return s; }
   static std::string to_cell(int v) { return std::to_string(v); }
@@ -127,44 +102,18 @@ inline double fit(double measured, double predicted) {
   return predicted > 0 ? measured / predicted : 0.0;
 }
 
-// True iff `flag` (e.g. "--json") appears among the arguments.
+// DEPRECATED: delegates to src/benchkit/flags.h.
 inline bool has_flag(int argc, char** argv, const char* flag) {
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], flag) == 0) return true;
-  }
-  return false;
+  return benchkit::has_flag(argc, argv, flag);
 }
 
-// Value of "--name value" or "--name=value"; fallback when absent.
 inline std::string flag_value(int argc, char** argv, const char* name,
                               const std::string& fallback) {
-  const std::string prefix = std::string(name) + "=";
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
-      return std::string(argv[i] + prefix.size());
-    }
-    if (std::strcmp(argv[i], name) == 0 && i + 1 < argc) return argv[i + 1];
-  }
-  return fallback;
+  return benchkit::flag_value(argc, argv, name, fallback);
 }
 
-// "1,2,4" -> {1,2,4}; empty and non-numeric tokens are skipped (not
-// mapped to 0).
 inline std::vector<long long> parse_int_list(const std::string& csv) {
-  std::vector<long long> out;
-  std::size_t pos = 0;
-  while (pos < csv.size()) {
-    std::size_t comma = csv.find(',', pos);
-    if (comma == std::string::npos) comma = csv.size();
-    const std::string tok = csv.substr(pos, comma - pos);
-    if (!tok.empty()) {
-      char* end = nullptr;
-      const long long v = std::strtoll(tok.c_str(), &end, 10);
-      if (end == tok.c_str() + tok.size()) out.push_back(v);
-    }
-    pos = comma + 1;
-  }
-  return out;
+  return benchkit::parse_int_list(csv);
 }
 
 }  // namespace dcolor::bench

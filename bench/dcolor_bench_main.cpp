@@ -1,0 +1,7 @@
+// dcolor-bench — the single unified workload driver. Every scenario
+// translation unit under bench/scenarios/ links into this binary and
+// self-registers via REGISTER_SCENARIO; the CLI lives in src/benchkit so
+// the test suite exercises the identical code path.
+#include "src/benchkit/cli.h"
+
+int main(int argc, char** argv) { return dcolor::benchkit::run_cli(argc, argv); }

@@ -1,0 +1,42 @@
+// CONGESTED CLIQUE workload (successor of bench_clique): Theorem 1.3's
+// segment-at-a-time derandomization with the i-bit speedup and the final
+// Lenzen shipment, on a near-regular graph.
+#include <memory>
+
+#include "src/benchkit/scenario.h"
+#include "src/benchkit/verify.h"
+#include "src/clique/clique_coloring.h"
+#include "src/graph/generators.h"
+
+namespace dcolor {
+namespace {
+
+using benchkit::Outcome;
+using benchkit::Prepared;
+using benchkit::RunConfig;
+using benchkit::Scenario;
+
+REGISTER_SCENARIO(Scenario{
+    "clique.nearreg",
+    "Theorem 1.3 (CONGESTED CLIQUE) list coloring, near-regular graph",
+    "nearreg", "clique", "clique", "", /*scalable=*/false,
+    [](const RunConfig& c) {
+      const NodeId n = static_cast<NodeId>(benchkit::pick_n(c, 256, 96));
+      const int d = c.quick ? 8 : 16;
+      auto g = std::make_shared<Graph>(make_near_regular(n, d, c.seed));
+      return Prepared{[g, seed = c.seed] {
+        const clique::CliqueColoringResult res =
+            clique::clique_list_coloring(*g, ListInstance::delta_plus_one(*g));
+        Outcome o;
+        o.n = g->num_nodes();
+        o.m = g->num_edges();
+        o.seed = seed;
+        o.metrics = res.metrics;
+        o.checksum = benchkit::checksum_values(res.colors);
+        o.verified = ListInstance::delta_plus_one(*g).valid_solution(res.colors);
+        return o;
+      }};
+    }});
+
+}  // namespace
+}  // namespace dcolor

@@ -1,0 +1,77 @@
+// Derandomized-MIS workloads (successor of bench_derand_mis): the
+// conditional-expectations MIS through the sequential Network and the
+// ParallelEngine transport on G(n,p) and grid graphs. Network/engine
+// pairs share a parity key; every run is validated as an independent
+// maximal set.
+#include <memory>
+#include <vector>
+
+#include "src/benchkit/scenario.h"
+#include "src/benchkit/verify.h"
+#include "src/coloring/derand_mis.h"
+#include "src/coloring/mis.h"
+#include "src/graph/generators.h"
+#include "src/runtime/mis_program.h"
+
+namespace dcolor {
+namespace {
+
+using benchkit::Outcome;
+using benchkit::Prepared;
+using benchkit::RunConfig;
+using benchkit::Scenario;
+
+Graph make_family(const std::string& family, const RunConfig& c) {
+  if (family == "grid") {
+    const NodeId rows = static_cast<NodeId>(benchkit::pick_n(c, 40, 12));
+    return make_grid(rows, rows + rows / 4);
+  }
+  const NodeId n = static_cast<NodeId>(benchkit::pick_n(c, 512, 160));
+  return make_gnp(n, 12.0 / static_cast<double>(n), c.seed);
+}
+
+Outcome outcome_of(const Graph& g, const DerandMisResult& res, std::uint64_t seed) {
+  Outcome o;
+  o.n = g.num_nodes();
+  o.m = g.num_edges();
+  o.seed = seed;
+  o.metrics = res.metrics;
+  o.checksum = benchkit::checksum_bits(res.in_mis);
+  const InducedSubgraph all(g, std::vector<bool>(g.num_nodes(), true));
+  o.verified = is_mis(all, res.in_mis);
+  return o;
+}
+
+Scenario network_scenario(const std::string& family) {
+  return Scenario{
+      "mis.network." + family,
+      "Derandomized MIS (conditional expectations), sequential Network, " + family,
+      family, "mis", "network", "mis." + family, /*scalable=*/false,
+      [family](const RunConfig& c) {
+        auto g = std::make_shared<Graph>(make_family(family, c));
+        return Prepared{[g, seed = c.seed] {
+          return outcome_of(*g, derandomized_mis(*g), seed);
+        }};
+      }};
+}
+
+Scenario engine_scenario(const std::string& family) {
+  return Scenario{
+      "mis.engine." + family,
+      "Derandomized MIS (conditional expectations), ParallelEngine, " + family,
+      family, "mis", "engine", "mis." + family, /*scalable=*/true,
+      [family](const RunConfig& c) {
+        auto g = std::make_shared<Graph>(make_family(family, c));
+        return Prepared{[g, threads = c.threads, seed = c.seed] {
+          return outcome_of(*g, runtime::derandomized_mis(*g, threads), seed);
+        }};
+      }};
+}
+
+REGISTER_SCENARIO(network_scenario("gnp"));
+REGISTER_SCENARIO(engine_scenario("gnp"));
+REGISTER_SCENARIO(network_scenario("grid"));
+REGISTER_SCENARIO(engine_scenario("grid"));
+
+}  // namespace
+}  // namespace dcolor

@@ -1,0 +1,30 @@
+// "How to Avoid MIS" workload (successor of bench_mis_avoidance): the
+// Section-4 variant of Lemma 2.1 — higher coin accuracy (epsilon smaller
+// by a (Delta+1) factor) so a single id-comparison round replaces the MIS
+// in conflict resolution. Shares the driver and verification of the base
+// lemma (scenario_common.h) on a denser G(n,p).
+#include <memory>
+
+#include "bench/scenarios/scenario_common.h"
+
+namespace dcolor {
+namespace {
+
+using benchkit::Prepared;
+using benchkit::RunConfig;
+using benchkit::Scenario;
+
+REGISTER_SCENARIO(Scenario{
+    "partial.network.avoidmis.gnp",
+    "Lemma 2.1, Section-4 variant (higher coin accuracy, no MIS), G(n,p)",
+    "gnp", "partial", "network", "", /*scalable=*/false,
+    [](const RunConfig& c) {
+      const NodeId n = static_cast<NodeId>(benchkit::pick_n(c, 2048, 256));
+      auto g = std::make_shared<Graph>(bench_scenarios::connected_gnp(n, 12.0, 31));
+      return Prepared{[g] {
+        return bench_scenarios::run_one_eighth(*g, 7, /*avoid_mis=*/true, 31).outcome;
+      }};
+    }});
+
+}  // namespace
+}  // namespace dcolor

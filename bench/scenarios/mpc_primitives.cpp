@@ -1,0 +1,69 @@
+// Section-5 MPC primitive workload (successor of bench_mpc_primitives):
+// global sort + prefix sums over sharded records at S = Theta(sqrt(N)).
+// Verification checks the global sorted order across the machine layout;
+// the checksum fingerprints the final record placement.
+#include <cmath>
+#include <vector>
+
+#include "src/benchkit/scenario.h"
+#include "src/benchkit/verify.h"
+#include "src/mpc/primitives.h"
+#include "src/util/rng.h"
+
+namespace dcolor {
+namespace {
+
+using benchkit::Outcome;
+using benchkit::Prepared;
+using benchkit::RunConfig;
+using benchkit::Scenario;
+
+REGISTER_SCENARIO(Scenario{
+    "mpc.primitives.sort",
+    "Section 5 MPC primitives: global sort + prefix sums over sharded records",
+    "records", "mpc", "mpc", "", /*scalable=*/false,
+    [](const RunConfig& c) {
+      const std::int64_t N = benchkit::pick_n(c, 64000, 4000);
+      return Prepared{[N, seed = c.seed] {
+        const std::int64_t S =
+            4 * static_cast<std::int64_t>(std::sqrt(static_cast<double>(N)));
+        const int M = static_cast<int>((4 * N + S - 1) / S);
+        mpc::MpcSystem sys(M, S);
+        mpc::Sharded data(M);
+        Rng rng(seed);
+        for (std::int64_t k = 0; k < N; ++k) {
+          data[static_cast<int>(rng.next_below(static_cast<std::uint64_t>(M)))].push_back(
+              mpc::Record{rng.next_u64() % 1000, static_cast<std::uint64_t>(k)});
+        }
+        mpc_sort(sys, data);
+        mpc_prefix(sys, data, [](std::uint64_t a, std::uint64_t b) { return a + b; });
+
+        Outcome o;
+        o.n = N;
+        o.m = M;
+        o.seed = seed;
+        o.metrics.rounds = sys.metrics().rounds;
+        o.metrics.messages = sys.metrics().words_communicated;
+        o.metrics.total_bits = 64 * sys.metrics().words_communicated;
+
+        // Sorted-order certificate: keys never decrease across the
+        // machine layout (prefix sums preserve the sorted key order).
+        bool sorted = true;
+        std::uint64_t prev_key = 0;
+        std::vector<std::int64_t> fingerprint;
+        for (const auto& shard : data) {
+          for (const mpc::Record& rec : shard) {
+            sorted = sorted && rec.key >= prev_key;
+            prev_key = rec.key;
+            fingerprint.push_back(static_cast<std::int64_t>(rec.key));
+            fingerprint.push_back(static_cast<std::int64_t>(rec.value));
+          }
+        }
+        o.checksum = benchkit::checksum_values(fingerprint);
+        o.verified = sorted && !fingerprint.empty();
+        return o;
+      }};
+    }});
+
+}  // namespace
+}  // namespace dcolor

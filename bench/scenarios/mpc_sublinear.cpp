@@ -1,0 +1,45 @@
+// MPC sublinear-memory workload (successor of bench_mpc_sublinear):
+// Theorem 1.5 with S = Theta(n^0.6) — per-node counts combined over
+// machine aggregation trees, with the Lemma 4.2 finisher engaging when
+// Delta < n^{alpha/2}. Memory compliance is certified by the simulator.
+#include <memory>
+
+#include "src/benchkit/scenario.h"
+#include "src/benchkit/verify.h"
+#include "src/graph/generators.h"
+#include "src/mpc/mpc_coloring.h"
+
+namespace dcolor {
+namespace {
+
+using benchkit::Outcome;
+using benchkit::Prepared;
+using benchkit::RunConfig;
+using benchkit::Scenario;
+
+REGISTER_SCENARIO(Scenario{
+    "mpc.sublinear.nearreg",
+    "Theorem 1.5 (MPC, S=Theta(n^0.6)) list coloring, near-regular graph",
+    "nearreg", "mpc", "mpc", "", /*scalable=*/false,
+    [](const RunConfig& c) {
+      const NodeId n = static_cast<NodeId>(benchkit::pick_n(c, 256, 128));
+      const int d = c.quick ? 4 : 8;
+      auto g = std::make_shared<Graph>(make_near_regular(n, d, c.seed));
+      return Prepared{[g, seed = c.seed] {
+        const mpc::MpcColoringResult res =
+            mpc::mpc_list_coloring_sublinear(*g, ListInstance::delta_plus_one(*g), 0.6);
+        Outcome o;
+        o.n = g->num_nodes();
+        o.m = g->num_edges();
+        o.seed = seed;
+        o.metrics.rounds = res.metrics.rounds;
+        o.metrics.messages = res.metrics.words_communicated;
+        o.metrics.total_bits = 64 * res.metrics.words_communicated;
+        o.checksum = benchkit::checksum_values(res.colors);
+        o.verified = ListInstance::delta_plus_one(*g).valid_solution(res.colors);
+        return o;
+      }};
+    }});
+
+}  // namespace
+}  // namespace dcolor

@@ -1,0 +1,30 @@
+// Lemma 2.1 workload (successor of bench_partial_coloring): a single
+// color_one_eighth invocation on random lists, via the shared driver in
+// scenario_common.h. Verified on every run: the partial coloring must be
+// proper, use only original-list colors, and color at least 1/8 of the
+// active nodes — the lemma's guarantee, live.
+#include <memory>
+
+#include "bench/scenarios/scenario_common.h"
+
+namespace dcolor {
+namespace {
+
+using benchkit::Prepared;
+using benchkit::RunConfig;
+using benchkit::Scenario;
+
+REGISTER_SCENARIO(Scenario{
+    "partial.network.gnp",
+    "Lemma 2.1: one color_one_eighth invocation on random lists, G(n,p)",
+    "gnp", "partial", "network", "", /*scalable=*/false,
+    [](const RunConfig& c) {
+      const NodeId n = static_cast<NodeId>(benchkit::pick_n(c, 2048, 256));
+      auto g = std::make_shared<Graph>(bench_scenarios::connected_gnp(n, 8.0, 1));
+      return Prepared{[g] {
+        return bench_scenarios::run_one_eighth(*g, 7, /*avoid_mis=*/false, 1).outcome;
+      }};
+    }});
+
+}  // namespace
+}  // namespace dcolor

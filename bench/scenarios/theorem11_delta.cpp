@@ -1,0 +1,41 @@
+// High-degree Theorem 1.1 workload (successor of bench_theorem11_delta):
+// a dense near-regular graph stresses the logC * seed-length
+// per-iteration cost, the regime where derandomization rounds dominate.
+#include <memory>
+
+#include "src/benchkit/scenario.h"
+#include "src/benchkit/verify.h"
+#include "src/coloring/theorem11.h"
+#include "src/graph/generators.h"
+
+namespace dcolor {
+namespace {
+
+using benchkit::Outcome;
+using benchkit::Prepared;
+using benchkit::RunConfig;
+using benchkit::Scenario;
+
+REGISTER_SCENARIO(Scenario{
+    "theorem11.network.nearreg32",
+    "Theorem 1.1 at high degree (near-regular d=32), sequential Network",
+    "nearreg", "theorem11", "network", "", /*scalable=*/false,
+    [](const RunConfig& c) {
+      const NodeId n = static_cast<NodeId>(benchkit::pick_n(c, 256, 128));
+      auto g = std::make_shared<Graph>(make_near_regular(n, 32, c.seed));
+      return Prepared{[g, seed = c.seed] {
+        const Theorem11Result res =
+            theorem11_solve_per_component(*g, ListInstance::delta_plus_one(*g));
+        Outcome o;
+        o.n = g->num_nodes();
+        o.m = g->num_edges();
+        o.seed = seed;
+        o.metrics = res.metrics;
+        o.checksum = benchkit::checksum_values(res.colors);
+        o.verified = ListInstance::delta_plus_one(*g).valid_solution(res.colors);
+        return o;
+      }};
+    }});
+
+}  // namespace
+}  // namespace dcolor

@@ -1,0 +1,42 @@
+// Diameter-dominated Theorem 1.1 workload (successor of
+// bench_theorem11_diameter): a path of 6-cliques lets D grow while Delta
+// stays constant, so the BFS-tree aggregation term D per seed bit is what
+// this scenario's wall clock and rounds track.
+#include <memory>
+
+#include "src/benchkit/scenario.h"
+#include "src/benchkit/verify.h"
+#include "src/coloring/theorem11.h"
+#include "src/graph/generators.h"
+
+namespace dcolor {
+namespace {
+
+using benchkit::Outcome;
+using benchkit::Prepared;
+using benchkit::RunConfig;
+using benchkit::Scenario;
+
+REGISTER_SCENARIO(Scenario{
+    "theorem11.network.cliquepath",
+    "Theorem 1.1 on a path of 6-cliques (large D, constant Delta), Network",
+    "cliquepath", "theorem11", "network", "", /*scalable=*/false,
+    [](const RunConfig& c) {
+      const NodeId cliques = static_cast<NodeId>(benchkit::pick_n(c, 64, 12));
+      auto g = std::make_shared<Graph>(make_path_of_cliques(cliques, 6));
+      return Prepared{[g] {
+        const Theorem11Result res =
+            theorem11_solve_per_component(*g, ListInstance::delta_plus_one(*g));
+        Outcome o;
+        o.n = g->num_nodes();
+        o.m = g->num_edges();
+        o.seed = 0;  // deterministic family, no seed
+        o.metrics = res.metrics;
+        o.checksum = benchkit::checksum_values(res.colors);
+        o.verified = ListInstance::delta_plus_one(*g).valid_solution(res.colors);
+        return o;
+      }};
+    }});
+
+}  // namespace
+}  // namespace dcolor

@@ -1,0 +1,80 @@
+// Theorem 1.1 headline workloads (successor of bench_theorem11_n): the
+// full deterministic (degree+1)-list-coloring pipeline on near-regular
+// and grid graphs, through the sequential Network driver and the
+// ParallelEngine transport. Network/engine pairs share a parity key, so
+// the old binary's bit-parity abort is now the CLI's parity gate.
+#include <memory>
+#include <vector>
+
+#include "src/benchkit/scenario.h"
+#include "src/benchkit/verify.h"
+#include "src/coloring/theorem11.h"
+#include "src/graph/generators.h"
+#include "src/runtime/theorem11_program.h"
+
+namespace dcolor {
+namespace {
+
+using benchkit::Outcome;
+using benchkit::Prepared;
+using benchkit::RunConfig;
+using benchkit::Scenario;
+
+Graph make_family(const std::string& family, const RunConfig& c) {
+  if (family == "grid") {
+    const NodeId rows = static_cast<NodeId>(benchkit::pick_n(c, 32, 8));
+    return make_grid(rows, 2 * rows);
+  }
+  const NodeId n = static_cast<NodeId>(benchkit::pick_n(c, 1024, 192));
+  return make_near_regular(n, 8, c.seed);
+}
+
+Outcome outcome_of(const Graph& g, const ListInstance& pristine, const Theorem11Result& res,
+                   std::uint64_t seed) {
+  Outcome o;
+  o.n = g.num_nodes();
+  o.m = g.num_edges();
+  o.seed = seed;
+  o.metrics = res.metrics;
+  o.checksum = benchkit::checksum_values(res.colors);
+  o.verified = pristine.valid_solution(res.colors);
+  return o;
+}
+
+Scenario network_scenario(const std::string& family, const std::string& tag) {
+  return Scenario{
+      "theorem11.network." + tag,
+      "Theorem 1.1 (degree+1)-list coloring, sequential Network, " + family,
+      family, "theorem11", "network", "theorem11." + tag, /*scalable=*/false,
+      [family](const RunConfig& c) {
+        auto g = std::make_shared<Graph>(make_family(family, c));
+        return Prepared{[g, seed = c.seed] {
+          const Theorem11Result res =
+              theorem11_solve_per_component(*g, ListInstance::delta_plus_one(*g));
+          return outcome_of(*g, ListInstance::delta_plus_one(*g), res, seed);
+        }};
+      }};
+}
+
+Scenario engine_scenario(const std::string& family, const std::string& tag) {
+  return Scenario{
+      "theorem11.engine." + tag,
+      "Theorem 1.1 (degree+1)-list coloring, ParallelEngine, " + family,
+      family, "theorem11", "engine", "theorem11." + tag, /*scalable=*/true,
+      [family](const RunConfig& c) {
+        auto g = std::make_shared<Graph>(make_family(family, c));
+        return Prepared{[g, threads = c.threads, seed = c.seed] {
+          const Theorem11Result res =
+              runtime::theorem11_coloring(*g, ListInstance::delta_plus_one(*g), threads);
+          return outcome_of(*g, ListInstance::delta_plus_one(*g), res, seed);
+        }};
+      }};
+}
+
+REGISTER_SCENARIO(network_scenario("nearreg", "nearreg8"));
+REGISTER_SCENARIO(engine_scenario("nearreg", "nearreg8"));
+REGISTER_SCENARIO(network_scenario("grid", "grid"));
+REGISTER_SCENARIO(engine_scenario("grid", "grid"));
+
+}  // namespace
+}  // namespace dcolor

@@ -1,0 +1,88 @@
+// Baseline workloads (successor of bench_vs_randomized): the randomized
+// process Theorem 1.1 derandomizes [Joh99], the classic Kuhn–Wattenhofer
+// color reduction [KW06], and the coloring-via-MIS reduction — the
+// pre-2020 costs the paper positions itself against, kept in the
+// trajectory so the deterministic pipeline's price stays measurable.
+#include <memory>
+#include <vector>
+
+#include "bench/scenarios/scenario_common.h"
+#include "src/benchkit/scenario.h"
+#include "src/benchkit/verify.h"
+#include "src/coloring/baselines.h"
+#include "src/coloring/mis_reduction.h"
+
+namespace dcolor {
+namespace {
+
+using benchkit::Outcome;
+using benchkit::Prepared;
+using benchkit::RunConfig;
+using benchkit::Scenario;
+
+REGISTER_SCENARIO(Scenario{
+    "baseline.network.randomized.gnp",
+    "Johansson-style randomized list coloring [Joh99] (what Thm 1.1 derandomizes)",
+    "gnp", "baseline", "network", "", /*scalable=*/false,
+    [](const RunConfig& c) {
+      const NodeId n = static_cast<NodeId>(benchkit::pick_n(c, 4096, 256));
+      auto g = std::make_shared<Graph>(
+          make_gnp(n, 8.0 / static_cast<double>(n), c.seed));
+      return Prepared{[g, seed = c.seed] {
+        const RandomizedColoringResult res =
+            randomized_list_coloring(*g, ListInstance::delta_plus_one(*g), 99);
+        Outcome o;
+        o.n = g->num_nodes();
+        o.m = g->num_edges();
+        o.seed = seed;
+        o.metrics = res.metrics;
+        o.checksum = benchkit::checksum_values(res.colors);
+        o.verified = ListInstance::delta_plus_one(*g).valid_solution(res.colors);
+        return o;
+      }};
+    }});
+
+REGISTER_SCENARIO(Scenario{
+    "baseline.network.kw.gnp",
+    "Kuhn-Wattenhofer color reduction [KW06], the classic deterministic baseline",
+    "gnp", "baseline", "network", "", /*scalable=*/false,
+    [](const RunConfig& c) {
+      const NodeId n = static_cast<NodeId>(benchkit::pick_n(c, 512, 128));
+      auto g = std::make_shared<Graph>(
+          make_gnp(n, 8.0 / static_cast<double>(n), c.seed));
+      return Prepared{[g, seed = c.seed] {
+        const ColorReductionResult res = color_reduction_baseline(*g);
+        Outcome o;
+        o.n = g->num_nodes();
+        o.m = g->num_edges();
+        o.seed = seed;
+        o.metrics = res.metrics;
+        o.checksum = benchkit::checksum_values(res.colors);
+        o.verified = benchkit::proper_coloring(*g, res.colors);
+        return o;
+      }};
+    }});
+
+REGISTER_SCENARIO(Scenario{
+    "baseline.network.misreduction.gnp",
+    "Coloring via MIS on the product graph [Lub86/Lin92] + derandomized MIS",
+    "gnp", "baseline", "network", "", /*scalable=*/false,
+    [](const RunConfig& c) {
+      const NodeId n = static_cast<NodeId>(benchkit::pick_n(c, 256, 96));
+      auto g = std::make_shared<Graph>(
+          make_gnp(n, 10.0 / static_cast<double>(n), c.seed));
+      return Prepared{[g, seed = c.seed] {
+        const MisReductionResult res = mis_reduction_coloring(*g);
+        Outcome o;
+        o.n = g->num_nodes();
+        o.m = g->num_edges();
+        o.seed = seed;
+        o.metrics = res.metrics;
+        o.checksum = benchkit::checksum_values(res.colors);
+        o.verified = benchkit::proper_coloring(*g, res.colors);
+        return o;
+      }};
+    }});
+
+}  // namespace
+}  // namespace dcolor

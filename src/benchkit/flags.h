@@ -1,0 +1,65 @@
+// Tiny argv helpers shared by the dcolor-bench CLI and the deprecated
+// bench/bench_common.h shims (which delegate here).
+#pragma once
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace dcolor::benchkit {
+
+// True iff `flag` (e.g. "--json") appears among the arguments.
+inline bool has_flag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+// Value of "--name value" or "--name=value"; fallback when absent.
+inline std::string flag_value(int argc, char** argv, const char* name,
+                              const std::string& fallback) {
+  const std::string prefix = std::string(name) + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::string(argv[i] + prefix.size());
+    }
+    if (std::strcmp(argv[i], name) == 0 && i + 1 < argc) return argv[i + 1];
+  }
+  return fallback;
+}
+
+// "1,2,4" -> {1,2,4}; empty and non-numeric tokens are skipped (not
+// mapped to 0).
+inline std::vector<long long> parse_int_list(const std::string& csv) {
+  std::vector<long long> out;
+  std::size_t pos = 0;
+  while (pos < csv.size()) {
+    std::size_t comma = csv.find(',', pos);
+    if (comma == std::string::npos) comma = csv.size();
+    const std::string tok = csv.substr(pos, comma - pos);
+    if (!tok.empty()) {
+      char* end = nullptr;
+      const long long v = std::strtoll(tok.c_str(), &end, 10);
+      if (end == tok.c_str() + tok.size()) out.push_back(v);
+    }
+    pos = comma + 1;
+  }
+  return out;
+}
+
+// "a,b,c" -> {"a","b","c"}; empty tokens skipped.
+inline std::vector<std::string> parse_string_list(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos < csv.size()) {
+    std::size_t comma = csv.find(',', pos);
+    if (comma == std::string::npos) comma = csv.size();
+    if (comma > pos) out.push_back(csv.substr(pos, comma - pos));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace dcolor::benchkit

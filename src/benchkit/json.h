@@ -1,0 +1,89 @@
+// Canonical JSON layer for the benchkit workload subsystem: an escaping
+// string quoter, a streaming object writer (the producer of every
+// BENCH_*.json trajectory record), a small recursive-descent parser (the
+// consumer side of --baseline comparison and of the benchkit test suite),
+// and the table writer bench/bench_common.h delegates to.
+//
+// Numeric values are emitted as JSON numbers, never strings; the one
+// deliberate exception is 64-bit checksums, which callers format as hex
+// strings ("0x...") because doubles cannot hold them exactly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace dcolor::benchkit {
+
+// JSON string escaping of the body (quotes, backslashes, and all control
+// characters below 0x20 as \u00xx). Returns the body without surrounding
+// quotes; json_quote adds them.
+std::string json_escape(std::string_view s);
+std::string json_quote(std::string_view s);
+
+// Canonical number formatting: integers print without a fraction,
+// everything else round-trips through %.10g (more than enough for
+// millisecond timings).
+std::string json_number(double v);
+std::string json_number(std::int64_t v);
+
+// True iff `s` is a syntactically valid JSON number token (the test the
+// table writer uses to decide unquoted emission).
+bool is_json_number(std::string_view s);
+
+// A table cell rendered for JSON output: valid number tokens pass through
+// raw, everything else is quoted and escaped.
+std::string json_cell(const std::string& cell);
+
+// Streaming writer for one flat-ish object; fields appear in insertion
+// order, which gives every BENCH record the same stable key order.
+class JsonObjectWriter {
+ public:
+  JsonObjectWriter& field(const char* key, std::string_view v);  // quoted
+  // Without this overload a string literal would prefer the bool
+  // conversion over the user-defined string_view one.
+  JsonObjectWriter& field(const char* key, const char* v);
+  JsonObjectWriter& field(const char* key, double v);
+  JsonObjectWriter& field(const char* key, std::int64_t v);
+  JsonObjectWriter& field(const char* key, bool v);
+  // Pre-rendered JSON (a number, array, or nested object).
+  JsonObjectWriter& field_raw(const char* key, std::string_view raw);
+  std::string close();
+
+ private:
+  void comma();
+  std::string out_ = "{";
+  bool first_ = true;
+};
+
+// Parsed JSON value. Numbers are doubles (BENCH records keep every
+// compared quantity within exact double range).
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  // Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const;
+  // Typed accessors with fallbacks, for tolerant record reading.
+  double number_or(std::string_view key, double fallback) const;
+  std::string string_or(std::string_view key, const std::string& fallback) const;
+  bool bool_or(std::string_view key, bool fallback) const;
+};
+
+// Parses exactly one JSON value (leading/trailing whitespace allowed).
+// On failure returns false and describes the problem in *err.
+bool json_parse(std::string_view text, JsonValue* out, std::string* err);
+
+// {"title":...,"headers":[...],"rows":[[...]]} with numeric cells emitted
+// as numbers. The canonical writer behind bench::Table::print_json.
+std::string table_json(const std::string& title, const std::vector<std::string>& headers,
+                       const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace dcolor::benchkit

@@ -1,0 +1,238 @@
+#include "src/benchkit/report.h"
+
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "src/benchkit/json.h"
+#include "src/benchkit/version.h"
+
+namespace dcolor::benchkit {
+
+namespace {
+
+std::string hex64(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "0x%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string sanitize(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char ch : name) {
+    out += std::isalnum(static_cast<unsigned char>(ch)) ? ch : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+Record to_record(const Measurement& m) {
+  Record r;
+  r.scenario = m.name;
+  r.family = m.family;
+  r.algorithm = m.algorithm;
+  r.transport = m.transport;
+  r.n = m.outcome.n;
+  r.m = m.outcome.m;
+  r.seed = m.outcome.seed;
+  r.threads = m.threads;
+  r.scalable = m.scalable;
+  r.quick = m.quick;
+  r.warmup = m.warmup;
+  r.reps = m.reps;
+  r.wall_ms = m.wall_ms_median;
+  r.wall_ms_min = m.wall_ms_min;
+  r.wall_ms_max = m.wall_ms_max;
+  r.rounds = m.outcome.metrics.rounds;
+  r.messages = m.outcome.metrics.messages;
+  r.total_bits = m.outcome.metrics.total_bits;
+  r.max_message_bits = m.outcome.metrics.max_message_bits;
+  r.checksum = hex64(m.outcome.checksum);
+  r.verified = m.verified;
+  r.checksum_stable = m.checksum_stable;
+  r.rss_peak_kb = m.rss_peak_kb;
+  r.git = git_describe();
+  return r;
+}
+
+std::string record_filename(const Record& r) {
+  std::string name = "BENCH_" + sanitize(r.scenario);
+  if (r.scalable) name += "_t" + std::to_string(r.threads);
+  return name + ".json";
+}
+
+std::string record_json(const Record& r) {
+  JsonObjectWriter w;
+  w.field("schema", kRecordSchema)
+      .field("scenario", r.scenario)
+      .field("family", r.family)
+      .field("algorithm", r.algorithm)
+      .field("transport", r.transport)
+      .field("n", r.n)
+      .field("m", r.m)
+      // Seeds in practice fit a double exactly; parse-back tolerance is
+      // all the comparator needs.
+      .field("seed", static_cast<std::int64_t>(r.seed))
+      .field("threads", static_cast<std::int64_t>(r.threads))
+      .field("scalable", r.scalable)
+      .field("quick", r.quick)
+      .field("warmup", static_cast<std::int64_t>(r.warmup))
+      .field("reps", static_cast<std::int64_t>(r.reps))
+      .field("wall_ms", r.wall_ms)
+      .field("wall_ms_min", r.wall_ms_min)
+      .field("wall_ms_max", r.wall_ms_max)
+      .field("rounds", r.rounds)
+      .field("messages", r.messages)
+      .field("total_bits", r.total_bits)
+      .field("max_message_bits", r.max_message_bits)
+      .field("checksum", r.checksum)
+      .field("verified", r.verified)
+      .field("checksum_stable", r.checksum_stable)
+      .field("rss_peak_kb", r.rss_peak_kb)
+      .field("git", r.git);
+  return w.close();
+}
+
+bool parse_record(const std::string& json_text, Record* out, std::string* err) {
+  JsonValue v;
+  if (!json_parse(json_text, &v, err)) return false;
+  if (v.kind != JsonValue::Kind::kObject) {
+    if (err) *err = "record is not a JSON object";
+    return false;
+  }
+  const std::string schema = v.string_or("schema", "");
+  if (schema != kRecordSchema) {
+    if (err) *err = "unexpected schema '" + schema + "'";
+    return false;
+  }
+  *out = Record{};
+  out->scenario = v.string_or("scenario", "");
+  out->family = v.string_or("family", "");
+  out->algorithm = v.string_or("algorithm", "");
+  out->transport = v.string_or("transport", "");
+  out->n = static_cast<std::int64_t>(v.number_or("n", 0));
+  out->m = static_cast<std::int64_t>(v.number_or("m", 0));
+  out->seed = static_cast<std::uint64_t>(v.number_or("seed", 0));
+  out->threads = static_cast<int>(v.number_or("threads", 1));
+  out->scalable = v.bool_or("scalable", false);
+  out->quick = v.bool_or("quick", false);
+  out->warmup = static_cast<int>(v.number_or("warmup", 0));
+  out->reps = static_cast<int>(v.number_or("reps", 0));
+  out->wall_ms = v.number_or("wall_ms", 0);
+  out->wall_ms_min = v.number_or("wall_ms_min", 0);
+  out->wall_ms_max = v.number_or("wall_ms_max", 0);
+  out->rounds = static_cast<std::int64_t>(v.number_or("rounds", 0));
+  out->messages = static_cast<std::int64_t>(v.number_or("messages", 0));
+  out->total_bits = static_cast<std::int64_t>(v.number_or("total_bits", 0));
+  out->max_message_bits = static_cast<std::int64_t>(v.number_or("max_message_bits", 0));
+  out->checksum = v.string_or("checksum", "");
+  out->verified = v.bool_or("verified", false);
+  out->checksum_stable = v.bool_or("checksum_stable", false);
+  out->rss_peak_kb = static_cast<std::int64_t>(v.number_or("rss_peak_kb", 0));
+  out->git = v.string_or("git", "");
+  if (out->scenario.empty()) {
+    if (err) *err = "record has no scenario name";
+    return false;
+  }
+  return true;
+}
+
+bool read_record_file(const std::string& path, Record* out, std::string* err) {
+  std::ifstream in(path);
+  if (!in) {
+    if (err) *err = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parse_record(text.str(), out, err);
+}
+
+bool write_record_file(const std::string& dir, const Record& r, std::string* err) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    if (err) *err = "cannot create " + dir + ": " + ec.message();
+    return false;
+  }
+  const std::string path = dir + "/" + record_filename(r);
+  std::ofstream out(path);
+  if (!out) {
+    if (err) *err = "cannot write " + path;
+    return false;
+  }
+  out << record_json(r) << "\n";
+  out.close();
+  if (!out) {
+    if (err) *err = "short write to " + path;
+    return false;
+  }
+  return true;
+}
+
+BaselineReport compare_with_baseline(const std::vector<Record>& current,
+                                     const std::string& baseline_dir, double threshold_frac,
+                                     double abs_slack_ms, bool calibrate) {
+  BaselineReport report;
+  std::vector<Record> baselines(current.size());
+  std::vector<char> have(current.size(), 0);
+  std::vector<double> ratios;
+
+  for (std::size_t i = 0; i < current.size(); ++i) {
+    BaselineLine line;
+    line.file = record_filename(current[i]);
+    line.current_ms = current[i].wall_ms;
+    std::string err;
+    Record base;
+    if (read_record_file(baseline_dir + "/" + line.file, &base, &err) && base.wall_ms > 0) {
+      // Same-instance guard: a full-size run against quick baselines (or
+      // a changed seed) would gate on nonsense ratios; such records are
+      // incomparable, not regressed.
+      if (base.n != current[i].n || base.quick != current[i].quick ||
+          base.seed != current[i].seed) {
+        line.missing = true;
+        line.drift = "incomparable baseline (n/quick/seed differ)";
+        ++report.missing;
+      } else {
+        baselines[i] = base;
+        have[i] = 1;
+        line.baseline_ms = base.wall_ms;
+        line.ratio = current[i].wall_ms / base.wall_ms;
+        ratios.push_back(line.ratio);
+      }
+    } else {
+      line.missing = true;
+      ++report.missing;
+    }
+    report.lines.push_back(line);
+  }
+
+  report.calibration = (calibrate && !ratios.empty()) ? median(ratios) : 1.0;
+  if (report.calibration <= 0) report.calibration = 1.0;
+
+  for (std::size_t i = 0; i < current.size(); ++i) {
+    BaselineLine& line = report.lines[i];
+    if (line.missing) continue;
+    const Record& base = baselines[i];
+    line.limit_ms = base.wall_ms * report.calibration * (1.0 + threshold_frac) + abs_slack_ms;
+    if (line.current_ms > line.limit_ms) {
+      line.regressed = true;
+      ++report.regressions;
+    }
+    // Determinism drift is reported, not gated: a legitimate algorithm
+    // change shifts rounds/messages/checksum and is handled by refreshing
+    // the baselines, while the wall gate stays the hard failure.
+    std::string drift;
+    if (current[i].rounds != base.rounds) drift += " rounds";
+    if (current[i].messages != base.messages) drift += " messages";
+    if (!base.checksum.empty() && current[i].checksum != base.checksum) drift += " checksum";
+    if (!drift.empty()) line.drift = "drift vs baseline:" + drift;
+  }
+  return report;
+}
+
+}  // namespace dcolor::benchkit

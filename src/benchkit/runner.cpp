@@ -1,0 +1,82 @@
+#include "src/benchkit/runner.h"
+
+#include <algorithm>
+#include <chrono>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace dcolor::benchkit {
+
+double median(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  return values[(values.size() - 1) / 2];
+}
+
+std::int64_t peak_rss_kb() {
+#if defined(__unix__) || defined(__APPLE__)
+  rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::int64_t>(ru.ru_maxrss) / 1024;  // bytes on macOS
+#else
+  return static_cast<std::int64_t>(ru.ru_maxrss);  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
+
+Measurement run_scenario(const Scenario& s, int threads, const RunnerOptions& opt) {
+  Measurement m;
+  m.name = s.name;
+  m.family = s.family;
+  m.algorithm = s.algorithm;
+  m.transport = s.transport;
+  m.parity = s.parity;
+  m.scalable = s.scalable;
+  m.threads = s.scalable ? threads : 1;
+  m.reps = std::max(1, opt.reps);
+  m.warmup = std::max(0, opt.warmup);
+  m.quick = opt.quick;
+
+  RunConfig cfg;
+  cfg.quick = opt.quick;
+  cfg.threads = m.threads;
+  cfg.seed = opt.seed;
+
+  Prepared prepared = s.setup(cfg);
+
+  m.verified = true;
+  m.checksum_stable = true;
+  bool have_checksum = false;
+  std::uint64_t first_checksum = 0;
+
+  const int total = m.warmup + m.reps;
+  for (int rep = 0; rep < total; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    Outcome o = prepared.run();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+
+    m.verified = m.verified && o.verified;
+    if (!have_checksum) {
+      first_checksum = o.checksum;
+      have_checksum = true;
+    } else if (o.checksum != first_checksum) {
+      m.checksum_stable = false;
+    }
+    if (rep >= m.warmup) m.wall_ms.push_back(ms);
+    m.outcome = std::move(o);
+  }
+
+  m.wall_ms_median = median(m.wall_ms);
+  m.wall_ms_min = *std::min_element(m.wall_ms.begin(), m.wall_ms.end());
+  m.wall_ms_max = *std::max_element(m.wall_ms.begin(), m.wall_ms.end());
+  m.rss_peak_kb = peak_rss_kb();
+  return m;
+}
+
+}  // namespace dcolor::benchkit

@@ -1,0 +1,58 @@
+// The benchkit workload runner: executes one scenario instance with
+// warmup + repeated timed runs, reports median and spread wall-clock,
+// captures the process's peak RSS and the run's congest::Metrics, and
+// verifies the output on EVERY execution (warmup included) — an
+// unverified run or an unstable checksum marks the measurement failed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/benchkit/scenario.h"
+
+namespace dcolor::benchkit {
+
+struct RunnerOptions {
+  bool quick = false;
+  int reps = 3;     // timed repetitions (median reported)
+  int warmup = 1;   // untimed-but-verified executions first
+  std::uint64_t seed = 42;
+};
+
+struct Measurement {
+  // Scenario metadata, copied so records outlive the registry.
+  std::string name;
+  std::string family;
+  std::string algorithm;
+  std::string transport;
+  std::string parity;
+  bool scalable = false;
+  int threads = 1;
+
+  Outcome outcome;               // from the last timed rep
+  std::vector<double> wall_ms;   // per timed rep
+  double wall_ms_median = 0.0;
+  double wall_ms_min = 0.0;
+  double wall_ms_max = 0.0;
+  int reps = 0;
+  int warmup = 0;
+  bool quick = false;
+  std::int64_t rss_peak_kb = 0;  // process peak RSS after the runs
+
+  bool verified = false;         // every execution verified
+  bool checksum_stable = false;  // every execution produced the same checksum
+  bool ok() const { return verified && checksum_stable && outcome.n > 0; }
+};
+
+// Runs `s` at the given engine thread count (ignored by non-scalable
+// scenarios, which receive threads = 1).
+Measurement run_scenario(const Scenario& s, int threads, const RunnerOptions& opt);
+
+// Median of a non-empty sample (lower-middle for even sizes, so two-point
+// comparisons stay deterministic).
+double median(std::vector<double> values);
+
+// Peak resident set size of this process in KiB (0 where unsupported).
+std::int64_t peak_rss_kb();
+
+}  // namespace dcolor::benchkit

@@ -1,0 +1,34 @@
+#include "src/benchkit/scenario.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dcolor::benchkit {
+
+namespace {
+
+std::vector<Scenario>& registry() {
+  static std::vector<Scenario> r;  // function-local: safe across TU init order
+  return r;
+}
+
+}  // namespace
+
+bool register_scenario(Scenario s) {
+  for (const Scenario& existing : registry()) {
+    if (existing.name == s.name) {
+      // A name collision silently dropping a workload would let a new
+      // scenario TU ship without ever running; fail at startup instead —
+      // any test or CLI invocation of the binary catches it immediately.
+      std::fprintf(stderr, "benchkit: duplicate scenario registration '%s'\n",
+                   s.name.c_str());
+      std::abort();
+    }
+  }
+  registry().push_back(std::move(s));
+  return true;
+}
+
+const std::vector<Scenario>& all_scenarios() { return registry(); }
+
+}  // namespace dcolor::benchkit

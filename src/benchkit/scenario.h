@@ -1,0 +1,88 @@
+// The benchkit scenario registry. A Scenario names one workload
+// configuration — graph family, algorithm, transport, and a setup
+// function that builds the instance once and returns a re-runnable timed
+// body — and REGISTER_SCENARIO links it into whatever binary its
+// translation unit is part of (dcolor-bench links all of
+// bench/scenarios/; the benchkit test suite registers two tiny scenarios
+// of its own).
+//
+// Scenarios marked `scalable` use the src/runtime ParallelEngine and are
+// expanded by the CLI over the --threads list, which is how the
+// graph-family x transport x thread-count cross products come for free.
+// Scenarios sharing a non-empty `parity` key must produce identical
+// checksums for identical (n, seed): the CLI checks this after every run,
+// so a Network/engine divergence fails the bench instead of shipping a
+// bogus speedup.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/congest/metrics.h"
+
+namespace dcolor::benchkit {
+
+struct RunConfig {
+  bool quick = false;        // CI-sized instances instead of full-sized
+  int threads = 1;           // engine thread count (scalable scenarios)
+  std::uint64_t seed = 42;   // generator seed; fragile scenarios may pin their own
+};
+
+// What one full execution of the workload produced. Bodies must fill
+// every field; `seed` is the seed actually used (== RunConfig::seed
+// unless the scenario pins one for structural reasons, e.g. a BFS tree
+// that needs a connected sample).
+struct Outcome {
+  std::int64_t n = 0;
+  std::int64_t m = 0;
+  std::uint64_t seed = 0;
+  congest::Metrics metrics;   // CONGEST-style accounting; MPC scenarios map
+                              // words into messages/total_bits
+  std::uint64_t checksum = 0; // FNV-1a over the output (colors / MIS / records)
+  bool verified = false;      // proper coloring / valid MIS / sorted output
+};
+
+// Setup runs once (untimed): generate the graph and instance. The
+// returned closure is one complete, timed, re-runnable execution; for a
+// deterministic algorithm its checksum must be identical on every call —
+// the runner enforces this.
+struct Prepared {
+  std::function<Outcome()> run;
+};
+
+struct Scenario {
+  std::string name;         // dotted id, e.g. "theorem11.engine.nearreg8"
+  std::string description;  // one line for --list
+  std::string family;       // graph family tag (gnp, nearreg, grid, ...)
+  std::string algorithm;    // linial | theorem11 | mis | corollary12 | clique | mpc | ...
+  std::string transport;    // network | engine | clique | mpc
+  std::string parity;       // equal-checksum group across transports ("" = none)
+  bool scalable = false;    // expand over --threads
+  std::function<Prepared(const RunConfig&)> setup;
+};
+
+// Adds `s` to the process-wide registry. A duplicate name aborts with a
+// diagnostic at startup — silently dropping a workload would let a new
+// scenario TU ship without ever running.
+bool register_scenario(Scenario s);
+
+// Registration order; the CLI sorts by name for stable output.
+const std::vector<Scenario>& all_scenarios();
+
+// Small helper scenarios use to size instances.
+inline std::int64_t pick_n(const RunConfig& c, std::int64_t full, std::int64_t quick) {
+  return c.quick ? quick : full;
+}
+
+#define DCOLOR_BENCHKIT_CONCAT_INNER(a, b) a##b
+#define DCOLOR_BENCHKIT_CONCAT(a, b) DCOLOR_BENCHKIT_CONCAT_INNER(a, b)
+
+// File-scope self-registration: REGISTER_SCENARIO(Scenario{...});
+#define REGISTER_SCENARIO(...)                                                        \
+  [[maybe_unused]] static const bool DCOLOR_BENCHKIT_CONCAT(dcolor_scenario_reg_,     \
+                                                            __COUNTER__) =            \
+      ::dcolor::benchkit::register_scenario(__VA_ARGS__)
+
+}  // namespace dcolor::benchkit

@@ -1,0 +1,66 @@
+#include "src/benchkit/verify.h"
+
+namespace dcolor::benchkit {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+std::uint64_t fnv_step(std::uint64_t h, std::uint64_t v) {
+  for (int byte = 0; byte < 8; ++byte) {
+    h ^= (v >> (8 * byte)) & 0xFF;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace
+
+bool proper_coloring(const Graph& g, const std::vector<Color>& colors) {
+  if (static_cast<NodeId>(colors.size()) != g.num_nodes()) return false;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (colors[v] == kUncolored) return false;
+    for (NodeId u : g.neighbors(v)) {
+      if (colors[u] == colors[v]) return false;
+    }
+  }
+  return true;
+}
+
+bool proper_partial_coloring(const Graph& g, const std::vector<Color>& colors) {
+  if (static_cast<NodeId>(colors.size()) != g.num_nodes()) return false;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (colors[v] == kUncolored) continue;
+    for (NodeId u : g.neighbors(v)) {
+      if (u != v && colors[u] == colors[v]) return false;
+    }
+  }
+  return true;
+}
+
+std::uint64_t checksum_values(const std::vector<std::int64_t>& values) {
+  std::uint64_t h = kFnvOffset;
+  h = fnv_step(h, static_cast<std::uint64_t>(values.size()));
+  for (std::int64_t v : values) h = fnv_step(h, static_cast<std::uint64_t>(v));
+  return h;
+}
+
+std::uint64_t checksum_bits(const std::vector<bool>& bits) {
+  std::uint64_t h = kFnvOffset;
+  h = fnv_step(h, static_cast<std::uint64_t>(bits.size()));
+  std::uint64_t word = 0;
+  int filled = 0;
+  for (bool b : bits) {
+    word = (word << 1) | (b ? 1u : 0u);
+    if (++filled == 64) {
+      h = fnv_step(h, word);
+      word = 0;
+      filled = 0;
+    }
+  }
+  if (filled > 0) h = fnv_step(h, word);
+  return h;
+}
+
+}  // namespace dcolor::benchkit

@@ -1,0 +1,27 @@
+// Output verification and checksumming for benchkit scenarios: every
+// workload run is checked (proper coloring / valid MIS / sortedness) so a
+// perf win can never silently break correctness, and checksummed so
+// determinism drift is visible in BENCH_*.json trajectories and the
+// cross-transport parity gate.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/coloring/list_instance.h"
+#include "src/graph/graph.h"
+
+namespace dcolor::benchkit {
+
+// True iff every node is colored (!= kUncolored) and no edge is
+// monochromatic.
+bool proper_coloring(const Graph& g, const std::vector<Color>& colors);
+
+// Partial variant: kUncolored nodes are skipped.
+bool proper_partial_coloring(const Graph& g, const std::vector<Color>& colors);
+
+// FNV-1a over a value stream; the scenario output fingerprint.
+std::uint64_t checksum_values(const std::vector<std::int64_t>& values);
+std::uint64_t checksum_bits(const std::vector<bool>& bits);
+
+}  // namespace dcolor::benchkit

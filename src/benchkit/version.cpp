@@ -1,0 +1,13 @@
+#include "src/benchkit/version.h"
+
+namespace dcolor::benchkit {
+
+const char* git_describe() {
+#ifdef DCOLOR_GIT_DESCRIBE
+  return DCOLOR_GIT_DESCRIBE;
+#else
+  return "unknown";
+#endif
+}
+
+}  // namespace dcolor::benchkit

@@ -1,0 +1,11 @@
+// Build provenance for BENCH_*.json records: the `git describe` string
+// captured at configure time (CMake passes DCOLOR_GIT_DESCRIBE for
+// version.cpp only), so trajectory files are self-describing.
+#pragma once
+
+namespace dcolor::benchkit {
+
+// "c285212", "v1.2-4-gdeadbee-dirty", or "unknown" outside a git checkout.
+const char* git_describe();
+
+}  // namespace dcolor::benchkit

@@ -1,0 +1,467 @@
+// The benchkit workload subsystem, end to end: JSON writer/parser round
+// trips, the bench_common.h shim's numbers-as-numbers output, the
+// scenario registry, and the dcolor-bench CLI driven through run_cli with
+// test-local scenarios — quick runs emitting schema-complete BENCH_*.json
+// with stable checksums, the verification and parity failure paths, and
+// the --baseline regression gate tripping on an injected slowdown.
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bench/bench_common.h"
+#include "src/benchkit/cli.h"
+#include "src/benchkit/json.h"
+#include "src/benchkit/report.h"
+#include "src/benchkit/runner.h"
+#include "src/benchkit/scenario.h"
+#include "src/benchkit/verify.h"
+
+namespace dcolor::benchkit {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ------------------------------------------------------------ test rig
+
+// Deterministic busy work so wall times are real but tiny; the checksum
+// is a pure function of `salt`, so reps and re-runs agree.
+Outcome busy_outcome(std::uint64_t salt, const RunConfig& c) {
+  volatile std::uint64_t acc = salt;
+  for (int i = 0; i < 400000; ++i) acc = acc * 6364136223846793005ull + 1442695040888963407ull;
+  Outcome o;
+  o.n = c.quick ? 64 : 256;
+  o.m = 2 * o.n;
+  o.seed = c.seed;
+  o.metrics.rounds = 10 + static_cast<std::int64_t>(salt);
+  o.metrics.messages = 100;
+  o.metrics.total_bits = 800;
+  o.metrics.max_message_bits = 8;
+  o.checksum = checksum_values({static_cast<std::int64_t>(salt), o.n});
+  o.verified = true;
+  return o;
+}
+
+Scenario busy_scenario(const std::string& name, std::uint64_t salt) {
+  return Scenario{name, "deterministic busy-loop test scenario", "synthetic", "testkit",
+                  "network", "", /*scalable=*/false, [salt](const RunConfig& c) {
+                    return Prepared{[salt, c] { return busy_outcome(salt, c); }};
+                  }};
+}
+
+REGISTER_SCENARIO(busy_scenario("testkit.busy.a", 1));
+REGISTER_SCENARIO(busy_scenario("testkit.busy.b", 2));
+
+// Fails verification on every run.
+REGISTER_SCENARIO(Scenario{
+    "testkit.bad", "always fails verification", "synthetic", "testkit", "network", "",
+    /*scalable=*/false, [](const RunConfig& c) {
+      return Prepared{[c] {
+        Outcome o = busy_outcome(3, c);
+        o.verified = false;
+        return o;
+      }};
+    }});
+
+// Produces a different checksum on every execution.
+REGISTER_SCENARIO(Scenario{
+    "testkit.unstable", "checksum changes across reps", "synthetic", "testkit", "network", "",
+    /*scalable=*/false, [](const RunConfig& c) {
+      return Prepared{[c] {
+        static std::uint64_t counter = 0;
+        Outcome o = busy_outcome(4, c);
+        o.checksum = ++counter;
+        return o;
+      }};
+    }});
+
+// A parity pair that disagrees: same parity key and n, different outputs.
+Scenario parity_scenario(const std::string& name, const std::string& transport,
+                         std::uint64_t salt) {
+  return Scenario{name, "parity-mismatch pair", "synthetic", "testkit", transport,
+                  "testkit.parity", /*scalable=*/false, [salt](const RunConfig& c) {
+                    return Prepared{[salt, c] { return busy_outcome(salt, c); }};
+                  }};
+}
+
+REGISTER_SCENARIO(parity_scenario("testkit.parity.net", "network", 5));
+REGISTER_SCENARIO(parity_scenario("testkit.parity.eng", "engine", 6));
+
+// A parity pair that agrees on the checksum but diverges in Metrics —
+// the bit-identical contract covers both.
+Scenario metrics_parity_scenario(const std::string& name, const std::string& transport,
+                                 std::int64_t rounds) {
+  return Scenario{name, "metrics-mismatch pair", "synthetic", "testkit", transport,
+                  "testkit.parity2", /*scalable=*/false, [rounds](const RunConfig& c) {
+                    return Prepared{[rounds, c] {
+                      Outcome o = busy_outcome(8, c);
+                      o.metrics.rounds = rounds;
+                      return o;
+                    }};
+                  }};
+}
+
+REGISTER_SCENARIO(metrics_parity_scenario("testkit.parity2.net", "network", 100));
+REGISTER_SCENARIO(metrics_parity_scenario("testkit.parity2.eng", "engine", 101));
+
+// A scalable scenario, to cover thread expansion and file naming.
+REGISTER_SCENARIO(Scenario{
+    "testkit.scalable", "thread-expanded test scenario", "synthetic", "testkit", "engine", "",
+    /*scalable=*/true, [](const RunConfig& c) {
+      return Prepared{[c] { return busy_outcome(7, c); }};
+    }});
+
+// run_cli with a scratch stdout; argv built from strings.
+int cli(std::vector<std::string> args) {
+  args.insert(args.begin(), "dcolor-bench");
+  std::vector<char*> argv;
+  argv.reserve(args.size());
+  for (std::string& a : args) argv.push_back(a.data());
+  std::FILE* scratch = std::tmpfile();
+  const int code =
+      run_cli(static_cast<int>(argv.size()), argv.data(), scratch ? scratch : stdout);
+  if (scratch) std::fclose(scratch);
+  return code;
+}
+
+std::string slurp(const fs::path& path) {
+  std::ifstream in(path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+fs::path fresh_dir(const std::string& leaf) {
+  const fs::path dir = fs::temp_directory_path() / ("dcolor_benchkit_test_" + leaf);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+// ------------------------------------------------------------ JSON layer
+
+TEST(BenchkitJson, EscapesControlCharactersAndQuotes) {
+  EXPECT_EQ(json_quote("a\"b\\c"), "\"a\\\"b\\\\c\"");
+  EXPECT_EQ(json_quote(std::string("x\n\t\x01y")), "\"x\\n\\t\\u0001y\"");
+}
+
+TEST(BenchkitJson, NumberTokenValidation) {
+  for (const char* ok : {"0", "-1", "3.5", "1e9", "-2.25E-3", "42"}) {
+    EXPECT_TRUE(is_json_number(ok)) << ok;
+  }
+  for (const char* bad : {"", "042", ".5", "1.", "0x10", "nan", "inf", "1e", "--3", "1 "}) {
+    EXPECT_FALSE(is_json_number(bad)) << bad;
+  }
+}
+
+TEST(BenchkitJson, NumberFormattingStaysValidJson) {
+  EXPECT_EQ(json_number(42.0), "42");
+  EXPECT_EQ(json_number(static_cast<std::int64_t>(-7)), "-7");
+  // Above the int64 round-trip guard: must not hit the float->int cast.
+  EXPECT_TRUE(is_json_number(json_number(1e20)));
+  EXPECT_TRUE(is_json_number(json_number(-3.5e18)));
+  EXPECT_TRUE(is_json_number(json_number(0.001953125)));
+}
+
+TEST(BenchkitJson, ParseRoundTripsWriterOutput) {
+  JsonObjectWriter w;
+  w.field("name", "a \"quoted\"\nvalue")
+      .field("count", static_cast<std::int64_t>(42))
+      .field("ms", 1.5)
+      .field("flag", true)
+      .field_raw("list", "[1,2,3]");
+  const std::string text = w.close();
+
+  JsonValue v;
+  std::string err;
+  ASSERT_TRUE(json_parse(text, &v, &err)) << err;
+  EXPECT_EQ(v.string_or("name", ""), "a \"quoted\"\nvalue");
+  EXPECT_EQ(v.number_or("count", 0), 42);
+  EXPECT_DOUBLE_EQ(v.number_or("ms", 0), 1.5);
+  EXPECT_TRUE(v.bool_or("flag", false));
+  ASSERT_NE(v.find("list"), nullptr);
+  ASSERT_EQ(v.find("list")->array.size(), 3u);
+  EXPECT_EQ(v.find("list")->array[1].number, 2);
+}
+
+TEST(BenchkitJson, RejectsMalformedInput) {
+  JsonValue v;
+  std::string err;
+  EXPECT_FALSE(json_parse("{\"a\":}", &v, &err));
+  EXPECT_FALSE(json_parse("[1,2", &v, &err));
+  EXPECT_FALSE(json_parse("{\"a\":1} trailing", &v, &err));
+  EXPECT_FALSE(json_parse("{\"a\":042}", &v, &err));
+}
+
+// The satellite fix: Table::print_json (the deprecated shim) now emits
+// numeric cells as JSON numbers and escapes control characters.
+TEST(BenchkitJson, TableShimEmitsNumbersAsNumbers) {
+  bench::Table t({"name", "n", "ms"});
+  t.add("alpha\nbeta", 128, 3.25);
+
+  std::FILE* tmp = std::tmpfile();
+  ASSERT_NE(tmp, nullptr);
+  t.print_json("shim \x02 title", tmp);
+  std::rewind(tmp);
+  std::string text(4096, '\0');
+  const std::size_t got = std::fread(text.data(), 1, text.size(), tmp);
+  std::fclose(tmp);
+  text.resize(got);
+
+  JsonValue v;
+  std::string err;
+  ASSERT_TRUE(json_parse(text, &v, &err)) << err << " in " << text;
+  EXPECT_EQ(v.string_or("title", ""), "shim \x02 title");
+  const JsonValue* rows = v.find("rows");
+  ASSERT_NE(rows, nullptr);
+  ASSERT_EQ(rows->array.size(), 1u);
+  const JsonValue& row = rows->array[0];
+  ASSERT_EQ(row.array.size(), 3u);
+  EXPECT_EQ(row.array[0].kind, JsonValue::Kind::kString);
+  EXPECT_EQ(row.array[1].kind, JsonValue::Kind::kNumber);
+  EXPECT_EQ(row.array[1].number, 128);
+  EXPECT_EQ(row.array[2].kind, JsonValue::Kind::kNumber);
+  EXPECT_DOUBLE_EQ(row.array[2].number, 3.25);
+}
+
+// ------------------------------------------------------------ registry
+
+TEST(BenchkitRegistry, TestScenariosRegisteredAndUnique) {
+  EXPECT_EQ(all_scenarios().size(), 9u);  // exactly this suite's scenarios
+}
+
+// A duplicate name would silently drop a workload; registration aborts
+// loudly instead, so any run of the binary catches the collision.
+TEST(BenchkitRegistryDeathTest, DuplicateRegistrationAborts) {
+  EXPECT_DEATH(register_scenario(busy_scenario("testkit.busy.a", 1)),
+               "duplicate scenario registration");
+}
+
+TEST(BenchkitRegistry, ListRespectsMinScenarios) {
+  EXPECT_EQ(cli({"--list"}), kExitOk);
+  EXPECT_EQ(cli({"--list", "--min-scenarios", "9"}), kExitOk);
+  EXPECT_EQ(cli({"--list", "--min-scenarios", "10"}), kExitVerifyFailure);
+}
+
+TEST(BenchkitCli, RejectsUnknownFlags) {
+  EXPECT_EQ(cli({"--frobnicate"}), kExitUsage);
+  EXPECT_EQ(cli({"stray"}), kExitUsage);
+  EXPECT_EQ(cli({"--filter", "no.such.scenario"}), kExitUsage);
+  // Boolean flags take no value: "--quick=1" would otherwise validate
+  // but be silently ignored, running full-size against quick baselines.
+  EXPECT_EQ(cli({"--quick=1"}), kExitUsage);
+  EXPECT_EQ(cli({"--list=x"}), kExitUsage);
+  EXPECT_EQ(cli({"--filter=testkit.busy.a", "--list"}), kExitOk);  // valued '=' form ok
+}
+
+// ------------------------------------------------------------ runner + records
+
+TEST(BenchkitRunner, QuickRunEmitsSchemaCompleteRecords) {
+  const fs::path dir = fresh_dir("records");
+  ASSERT_EQ(cli({"--quick", "--reps", "2", "--warmup", "1", "--filter", "testkit.busy",
+                 "--json-dir", dir.string()}),
+            kExitOk);
+
+  for (const char* leaf : {"BENCH_testkit_busy_a.json", "BENCH_testkit_busy_b.json"}) {
+    const std::string text = slurp(dir / leaf);
+    ASSERT_FALSE(text.empty()) << leaf;
+    JsonValue v;
+    std::string err;
+    ASSERT_TRUE(json_parse(text, &v, &err)) << err;
+    // The self-describing trajectory schema, satellite-complete:
+    // seed, n, threads and the git describe string in every record.
+    for (const char* key :
+         {"schema", "scenario", "family", "algorithm", "transport", "n", "m", "seed",
+          "threads", "scalable", "quick", "warmup", "reps", "wall_ms", "wall_ms_min",
+          "wall_ms_max", "rounds", "messages", "total_bits", "max_message_bits", "checksum",
+          "verified", "checksum_stable", "rss_peak_kb", "git"}) {
+      EXPECT_NE(v.find(key), nullptr) << key << " missing from " << leaf;
+    }
+    EXPECT_EQ(v.string_or("schema", ""), kRecordSchema);
+    EXPECT_EQ(v.find("n")->kind, JsonValue::Kind::kNumber);
+    EXPECT_EQ(v.number_or("n", 0), 64);  // quick size
+    EXPECT_EQ(v.number_or("seed", 0), 42);
+    EXPECT_EQ(v.number_or("threads", 0), 1);
+    EXPECT_TRUE(v.bool_or("quick", false));
+    EXPECT_TRUE(v.bool_or("verified", false));
+    EXPECT_TRUE(v.bool_or("checksum_stable", false));
+    EXPECT_FALSE(v.string_or("git", "").empty());
+    EXPECT_EQ(v.string_or("checksum", "").substr(0, 2), "0x");
+
+    Record rec;
+    ASSERT_TRUE(parse_record(text, &rec, &err)) << err;
+    EXPECT_EQ(record_filename(rec), leaf);
+  }
+}
+
+TEST(BenchkitRunner, ChecksumsStableAcrossSeparateRuns) {
+  const fs::path dir1 = fresh_dir("stable1");
+  const fs::path dir2 = fresh_dir("stable2");
+  ASSERT_EQ(cli({"--quick", "--reps", "2", "--filter", "testkit.busy", "--json-dir",
+                 dir1.string()}),
+            kExitOk);
+  ASSERT_EQ(cli({"--quick", "--reps", "2", "--filter", "testkit.busy", "--json-dir",
+                 dir2.string()}),
+            kExitOk);
+  for (const char* leaf : {"BENCH_testkit_busy_a.json", "BENCH_testkit_busy_b.json"}) {
+    Record a, b;
+    std::string err;
+    ASSERT_TRUE(read_record_file((dir1 / leaf).string(), &a, &err)) << err;
+    ASSERT_TRUE(read_record_file((dir2 / leaf).string(), &b, &err)) << err;
+    EXPECT_EQ(a.checksum, b.checksum) << leaf;
+    EXPECT_TRUE(a.checksum_stable);
+    EXPECT_EQ(a.rounds, b.rounds);
+  }
+}
+
+TEST(BenchkitRunner, ScalableScenarioExpandsOverThreads) {
+  const fs::path dir = fresh_dir("scalable");
+  ASSERT_EQ(cli({"--quick", "--reps", "1", "--filter", "testkit.scalable", "--threads", "1,3",
+                 "--json-dir", dir.string()}),
+            kExitOk);
+  Record r1, r3;
+  std::string err;
+  ASSERT_TRUE(read_record_file((dir / "BENCH_testkit_scalable_t1.json").string(), &r1, &err))
+      << err;
+  ASSERT_TRUE(read_record_file((dir / "BENCH_testkit_scalable_t3.json").string(), &r3, &err))
+      << err;
+  EXPECT_EQ(r1.threads, 1);
+  EXPECT_EQ(r3.threads, 3);
+  EXPECT_TRUE(r3.scalable);
+}
+
+TEST(BenchkitRunner, VerificationFailureExitsNonZero) {
+  EXPECT_EQ(cli({"--quick", "--reps", "1", "--filter", "testkit.bad"}), kExitVerifyFailure);
+}
+
+TEST(BenchkitRunner, UnstableChecksumExitsNonZero) {
+  EXPECT_EQ(cli({"--quick", "--reps", "2", "--filter", "testkit.unstable"}),
+            kExitVerifyFailure);
+}
+
+TEST(BenchkitRunner, ParityMismatchExitsNonZeroUnlessDisabled) {
+  EXPECT_EQ(cli({"--quick", "--reps", "1", "--filter", "testkit.parity."}),
+            kExitVerifyFailure);
+  EXPECT_EQ(cli({"--quick", "--reps", "1", "--filter", "testkit.parity.", "--no-parity"}),
+            kExitOk);
+}
+
+TEST(BenchkitRunner, MetricsDivergenceAloneFailsParity) {
+  // Same checksum, different rounds: the parity fingerprint covers the
+  // full Metrics tuple, not just the output.
+  EXPECT_EQ(cli({"--quick", "--reps", "1", "--filter", "testkit.parity2"}),
+            kExitVerifyFailure);
+}
+
+// ------------------------------------------------------------ baseline gate
+
+TEST(BenchkitBaseline, HonestBaselinePassesInjectedSlowdownFails) {
+  const fs::path current = fresh_dir("baseline_current");
+  ASSERT_EQ(cli({"--quick", "--reps", "3", "--filter", "testkit.busy", "--json-dir",
+                 current.string()}),
+            kExitOk);
+
+  // Honest comparison: the same machine moments apart; a huge threshold
+  // makes this immune to scheduler noise.
+  EXPECT_EQ(cli({"--quick", "--reps", "3", "--filter", "testkit.busy", "--baseline",
+                 current.string(), "--threshold", "400", "--abs-slack-ms", "5"}),
+            kExitOk);
+
+  // Injected slowdown: doctor one baseline to claim the workload used to
+  // run 1000x faster. Calibration takes the median ratio (the untouched
+  // record), so the doctored scenario must regress and exit code 2.
+  const fs::path doctored = fresh_dir("baseline_doctored");
+  for (const char* leaf : {"BENCH_testkit_busy_a.json", "BENCH_testkit_busy_b.json"}) {
+    Record rec;
+    std::string err;
+    ASSERT_TRUE(read_record_file((current / leaf).string(), &rec, &err)) << err;
+    if (std::string(leaf) == "BENCH_testkit_busy_a.json") {
+      rec.wall_ms /= 1000.0;
+      rec.wall_ms_min /= 1000.0;
+      rec.wall_ms_max /= 1000.0;
+    }
+    ASSERT_TRUE(write_record_file(doctored.string(), rec, &err)) << err;
+  }
+  EXPECT_EQ(cli({"--quick", "--reps", "3", "--filter", "testkit.busy", "--baseline",
+                 doctored.string(), "--threshold", "15", "--abs-slack-ms", "0.01"}),
+            kExitRegression);
+}
+
+TEST(BenchkitBaseline, PartialMissingToleratedAllMissingFails) {
+  // A baseline covering only one of the two scenarios: the uncovered one
+  // is a benign "(no baseline)" (new scenarios gate after the next
+  // refresh) and the run passes.
+  const fs::path current = fresh_dir("baseline_partial_current");
+  ASSERT_EQ(cli({"--quick", "--reps", "1", "--filter", "testkit.busy", "--json-dir",
+                 current.string()}),
+            kExitOk);
+  const fs::path partial = fresh_dir("baseline_partial");
+  fs::copy_file(current / "BENCH_testkit_busy_a.json",
+                partial / "BENCH_testkit_busy_a.json");
+  EXPECT_EQ(cli({"--quick", "--reps", "1", "--filter", "testkit.busy", "--baseline",
+                 partial.string(), "--threshold", "400", "--abs-slack-ms", "5"}),
+            kExitOk);
+
+  // Zero matches (wrong path, wholesale rename) must not pass vacuously.
+  EXPECT_EQ(cli({"--quick", "--reps", "1", "--filter", "testkit.busy", "--baseline",
+                 (partial / "nonexistent").string(), "--threshold", "15"}),
+            kExitUsage);
+
+  // Instance mismatch: a full-size run against quick baselines is
+  // incomparable — treated as missing, and all-incomparable fails like
+  // all-missing instead of gating on nonsense ratios.
+  EXPECT_EQ(cli({"--reps", "1", "--filter", "testkit.busy", "--baseline", partial.string(),
+                 "--threshold", "400"}),
+            kExitUsage);
+}
+
+TEST(BenchkitBaseline, CalibrationNeutralizesUniformMachineSpeedChange) {
+  // A baseline uniformly 3x faster (as if recorded on a faster box) must
+  // not trip the calibrated gate, but must with --no-calibrate.
+  const fs::path current = fresh_dir("calib_current");
+  ASSERT_EQ(cli({"--quick", "--reps", "3", "--filter", "testkit.busy", "--json-dir",
+                 current.string()}),
+            kExitOk);
+  const fs::path faster = fresh_dir("calib_faster");
+  for (const char* leaf : {"BENCH_testkit_busy_a.json", "BENCH_testkit_busy_b.json"}) {
+    Record rec;
+    std::string err;
+    ASSERT_TRUE(read_record_file((current / leaf).string(), &rec, &err)) << err;
+    rec.wall_ms /= 3.0;
+    ASSERT_TRUE(write_record_file(faster.string(), rec, &err)) << err;
+  }
+  EXPECT_EQ(cli({"--quick", "--reps", "3", "--filter", "testkit.busy", "--baseline",
+                 faster.string(), "--threshold", "50", "--abs-slack-ms", "0.01"}),
+            kExitOk);
+  EXPECT_EQ(cli({"--quick", "--reps", "3", "--filter", "testkit.busy", "--baseline",
+                 faster.string(), "--threshold", "50", "--abs-slack-ms", "0.01",
+                 "--no-calibrate"}),
+            kExitRegression);
+}
+
+// ------------------------------------------------------------ verifiers
+
+TEST(BenchkitVerify, ProperColoringCheckers) {
+  const Graph g = Graph::from_edges(3, {{0, 1}, {1, 2}});
+  EXPECT_TRUE(proper_coloring(g, {0, 1, 0}));
+  EXPECT_FALSE(proper_coloring(g, {0, 0, 1}));
+  EXPECT_FALSE(proper_coloring(g, {0, kUncolored, 1}));
+  EXPECT_TRUE(proper_partial_coloring(g, {0, kUncolored, 0}));
+  EXPECT_FALSE(proper_partial_coloring(g, {0, 0, kUncolored}));
+}
+
+TEST(BenchkitVerify, ChecksumsDistinguishAndRepeat) {
+  EXPECT_EQ(checksum_values({1, 2, 3}), checksum_values({1, 2, 3}));
+  EXPECT_NE(checksum_values({1, 2, 3}), checksum_values({1, 2, 4}));
+  EXPECT_NE(checksum_values({}), checksum_values({0}));
+  EXPECT_EQ(checksum_bits({true, false}), checksum_bits({true, false}));
+  EXPECT_NE(checksum_bits({true, false}), checksum_bits({false, true}));
+}
+
+}  // namespace
+}  // namespace dcolor::benchkit
