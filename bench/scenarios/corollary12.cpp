@@ -1,14 +1,18 @@
 // Corollary 1.2 workloads (successor of bench_corollary12): list
 // coloring through a network decomposition — polylog rounds independent
 // of diameter — on the clustered family the decomposition experiments
-// care about and on a grid. Corollary12Result only accounts rounds, so
-// messages/bits stay zero in these records.
+// care about and on a grid, through both the sequential Network backend
+// and the ParallelEngine backend (cluster-tree ClusterEngineChannel).
+// The shared corollary12_run driver accounts full traffic, so these
+// records carry message/bit totals, and the Network/engine pairs share a
+// parity key: the CLI enforces identical checksums AND Metrics.
 #include <memory>
 
 #include "src/benchkit/scenario.h"
 #include "src/benchkit/verify.h"
 #include "src/decomposition/corollary12.h"
 #include "src/graph/generators.h"
+#include "src/runtime/corollary12_program.h"
 
 namespace dcolor {
 namespace {
@@ -18,36 +22,64 @@ using benchkit::Prepared;
 using benchkit::RunConfig;
 using benchkit::Scenario;
 
-Scenario scenario(const std::string& family, const std::string& description) {
+// make_clustered's backbone is random; the pinned seed keeps the sampled
+// topology in the regime the decomposition targets.
+std::uint64_t family_seed(const std::string& family) { return family == "clustered" ? 5 : 0; }
+
+Graph make_family(const std::string& family, const RunConfig& c) {
+  if (family == "clustered") {
+    return c.quick ? make_clustered(4, 12, 0.3, 8, family_seed(family))
+                   : make_clustered(8, 24, 0.3, 16, family_seed(family));
+  }
+  return c.quick ? make_grid(8, 12) : make_grid(16, 32);
+}
+
+Outcome outcome_of(const Graph& g, const Corollary12Result& res, std::uint64_t seed) {
+  Outcome o;
+  o.n = g.num_nodes();
+  o.m = g.num_edges();
+  o.seed = seed;
+  o.metrics = res.metrics;
+  o.checksum = benchkit::checksum_values(res.colors);
+  o.verified = ListInstance::delta_plus_one(g).valid_solution(res.colors);
+  return o;
+}
+
+Scenario network_scenario(const std::string& family, const std::string& description) {
   return Scenario{
-      "corollary12.network." + family, description, family, "corollary12", "network", "",
-      /*scalable=*/false,
+      "corollary12.network." + family, description, family, "corollary12", "network",
+      "corollary12." + family, /*scalable=*/false,
       [family](const RunConfig& c) {
-        // make_clustered's backbone is random; the pinned seed keeps the
-        // sampled topology in the regime the decomposition targets.
-        const std::uint64_t seed = family == "clustered" ? 5 : 0;
-        auto g = std::make_shared<Graph>(
-            family == "clustered"
-                ? (c.quick ? make_clustered(4, 12, 0.3, 8, seed)
-                           : make_clustered(8, 24, 0.3, 16, seed))
-                : (c.quick ? make_grid(8, 12) : make_grid(16, 32)));
-        return Prepared{[g, seed] {
+        auto g = std::make_shared<Graph>(make_family(family, c));
+        return Prepared{[g, seed = family_seed(family)] {
           const Corollary12Result res = corollary12_solve(*g, ListInstance::delta_plus_one(*g));
-          Outcome o;
-          o.n = g->num_nodes();
-          o.m = g->num_edges();
-          o.seed = seed;
-          o.metrics.rounds = res.total_rounds;
-          o.checksum = benchkit::checksum_values(res.colors);
-          o.verified = ListInstance::delta_plus_one(*g).valid_solution(res.colors);
-          return o;
+          return outcome_of(*g, res, seed);
         }};
       }};
 }
 
-REGISTER_SCENARIO(scenario("clustered",
-                           "Corollary 1.2 via network decomposition, clustered graph"));
-REGISTER_SCENARIO(scenario("grid", "Corollary 1.2 via network decomposition, grid"));
+Scenario engine_scenario(const std::string& family, const std::string& description) {
+  return Scenario{
+      "corollary12.engine." + family, description, family, "corollary12", "engine",
+      "corollary12." + family, /*scalable=*/true,
+      [family](const RunConfig& c) {
+        auto g = std::make_shared<Graph>(make_family(family, c));
+        return Prepared{[g, threads = c.threads, seed = family_seed(family)] {
+          const Corollary12Result res =
+              runtime::corollary12_coloring(*g, ListInstance::delta_plus_one(*g), threads);
+          return outcome_of(*g, res, seed);
+        }};
+      }};
+}
+
+REGISTER_SCENARIO(network_scenario(
+    "clustered", "Corollary 1.2 via network decomposition, Network, clustered graph"));
+REGISTER_SCENARIO(engine_scenario(
+    "clustered", "Corollary 1.2 via network decomposition, ParallelEngine, clustered graph"));
+REGISTER_SCENARIO(
+    network_scenario("grid", "Corollary 1.2 via network decomposition, Network, grid"));
+REGISTER_SCENARIO(
+    engine_scenario("grid", "Corollary 1.2 via network decomposition, ParallelEngine, grid"));
 
 }  // namespace
 }  // namespace dcolor

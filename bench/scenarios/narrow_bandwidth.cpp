@@ -1,0 +1,75 @@
+// Narrow-bandwidth workloads (first ROADMAP coverage-gap closure): the
+// full Theorem 1.1 pipeline under a non-default `bandwidth_bits`
+// ceiling. A 12-bit budget forces multi-chunk pipelining through every
+// wide exchange (the psi/tau rounds, the 128-bit seed-fixing
+// convergecast), so these scenarios exercise the chunk-charging paths
+// that default-bandwidth workloads never touch. Network/engine pair
+// shares a parity key: identical checksums AND Metrics, enforced by the
+// CLI on every run.
+#include <memory>
+
+#include "src/benchkit/scenario.h"
+#include "src/benchkit/verify.h"
+#include "src/coloring/theorem11.h"
+#include "src/graph/generators.h"
+#include "src/runtime/theorem11_program.h"
+
+namespace dcolor {
+namespace {
+
+using benchkit::Outcome;
+using benchkit::Prepared;
+using benchkit::RunConfig;
+using benchkit::Scenario;
+
+constexpr int kNarrowBits = 12;
+
+PartialColoringOptions narrow_opts() {
+  PartialColoringOptions opts;
+  opts.bandwidth_bits = kNarrowBits;
+  return opts;
+}
+
+Graph make_family(const RunConfig& c) {
+  const NodeId n = static_cast<NodeId>(benchkit::pick_n(c, 768, 144));
+  return make_near_regular(n, 8, c.seed);
+}
+
+Outcome outcome_of(const Graph& g, const ListInstance& pristine, const Theorem11Result& res,
+                   std::uint64_t seed) {
+  Outcome o;
+  o.n = g.num_nodes();
+  o.m = g.num_edges();
+  o.seed = seed;
+  o.metrics = res.metrics;
+  o.checksum = benchkit::checksum_values(res.colors);
+  o.verified = pristine.valid_solution(res.colors) && res.metrics.max_message_bits <= kNarrowBits;
+  return o;
+}
+
+REGISTER_SCENARIO((Scenario{
+    "theorem11.network.narrowbw12", "Theorem 1.1 under a 12-bit bandwidth, sequential Network",
+    "nearreg", "theorem11", "network", "theorem11.narrowbw12", /*scalable=*/false,
+    [](const RunConfig& c) {
+      auto g = std::make_shared<Graph>(make_family(c));
+      return Prepared{[g, seed = c.seed] {
+        const Theorem11Result res =
+            theorem11_solve_per_component(*g, ListInstance::delta_plus_one(*g), narrow_opts());
+        return outcome_of(*g, ListInstance::delta_plus_one(*g), res, seed);
+      }};
+    }}));
+
+REGISTER_SCENARIO((Scenario{
+    "theorem11.engine.narrowbw12", "Theorem 1.1 under a 12-bit bandwidth, ParallelEngine",
+    "nearreg", "theorem11", "engine", "theorem11.narrowbw12", /*scalable=*/true,
+    [](const RunConfig& c) {
+      auto g = std::make_shared<Graph>(make_family(c));
+      return Prepared{[g, threads = c.threads, seed = c.seed] {
+        const Theorem11Result res = runtime::theorem11_coloring(
+            *g, ListInstance::delta_plus_one(*g), threads, narrow_opts());
+        return outcome_of(*g, ListInstance::delta_plus_one(*g), res, seed);
+      }};
+    }}));
+
+}  // namespace
+}  // namespace dcolor

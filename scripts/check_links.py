@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Fail on dead relative links in the repo's markdown docs.
+
+Scans README.md and docs/*.md for markdown links/images whose target is
+a relative path (external URLs and pure #fragments are skipped) and
+checks that the target exists relative to the linking file. Exits 1
+listing every dead link. Stdlib only — runnable anywhere CI is.
+"""
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+
+def candidate_files(root: Path):
+    yield root / "README.md"
+    docs = root / "docs"
+    if docs.is_dir():
+        yield from sorted(docs.glob("*.md"))
+
+
+def check_file(md: Path, root: Path):
+    dead = []
+    text = md.read_text(encoding="utf-8")
+    in_code_fence = False
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if line.lstrip().startswith("```"):
+            in_code_fence = not in_code_fence
+            continue
+        if in_code_fence:
+            continue
+        for match in LINK_RE.finditer(line):
+            target = match.group(1)
+            if re.match(r"^[a-zA-Z][a-zA-Z0-9+.-]*:", target):  # http:, mailto:, ...
+                continue
+            if target.startswith("#"):  # intra-document anchor
+                continue
+            path = target.split("#", 1)[0]
+            resolved = (md.parent / path).resolve()
+            if root.resolve() not in resolved.parents and resolved != root.resolve():
+                dead.append((lineno, target, "escapes the repository"))
+            elif not resolved.exists():
+                dead.append((lineno, target, "target does not exist"))
+    return dead
+
+
+def main():
+    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(".")
+    failures = 0
+    checked = 0
+    for md in candidate_files(root):
+        if not md.is_file():
+            continue
+        checked += 1
+        for lineno, target, why in check_file(md, root):
+            print(f"{md.relative_to(root)}:{lineno}: dead link '{target}' ({why})")
+            failures += 1
+    if checked == 0:
+        print("check_links: no markdown files found — wrong root?", file=sys.stderr)
+        return 1
+    print(f"check_links: {checked} file(s) checked, {failures} dead link(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -119,10 +119,7 @@ std::uint64_t aggregate_fixed_sum(Network& net, const BfsTree& tree,
                                   const std::vector<long double>& values) {
   std::vector<std::uint64_t> enc(values.size());
   for (std::size_t i = 0; i < values.size(); ++i) enc[i] = to_fixed(values[i]);
-  return tree.aggregate(net, enc, 64, [](std::uint64_t a, std::uint64_t b) {
-    const std::uint64_t s = a + b;
-    return s < a ? ~std::uint64_t{0} : s;  // saturate on overflow
-  });
+  return tree.aggregate(net, enc, 64, sat_add_u64);
 }
 
 }  // namespace dcolor::congest

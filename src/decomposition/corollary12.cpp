@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <optional>
 
 #include "src/coloring/linial.h"
 #include "src/util/bits.h"
@@ -48,12 +49,8 @@ std::pair<long double, long double> ClusterChannel::aggregate_pair(
     for (NodeId v : cluster_->tree_nodes) {
       if (level_[v] != lev) continue;
       const NodeId p = parent_[v];
-      auto sat_add = [](std::uint64_t a, std::uint64_t b) {
-        const std::uint64_t s = a + b;
-        return s < a ? ~std::uint64_t{0} : s;
-      };
-      acc0[p] = sat_add(acc0[p], acc0[v]);
-      acc1[p] = sat_add(acc1[p], acc1[v]);
+      acc0[p] = sat_add_u64(acc0[p], acc0[v]);
+      acc1[p] = sat_add_u64(acc1[p], acc1[v]);
     }
   }
   if (chunks > 1) net.tick(chunks - 1);
@@ -71,8 +68,9 @@ void ClusterChannel::broadcast_bit(congest::Network& net, int bit) {
   }
 }
 
-Corollary12Result corollary12_solve(const Graph& g, ListInstance inst,
-                                    const PartialColoringOptions& opts) {
+Corollary12Result corollary12_run(const Graph& g, ListInstance inst,
+                                  Corollary12Transports& transports,
+                                  const PartialColoringOptions& opts) {
   const NodeId n = g.num_nodes();
   Corollary12Result res;
   res.colors.assign(n, kUncolored);
@@ -83,52 +81,111 @@ Corollary12Result corollary12_solve(const Graph& g, ListInstance inst,
   const int kappa = std::max(1, res.decomposition.max_congestion(g));
 
   // Global input coloring (Linial over the whole graph).
-  congest::Network gnet(g);
+  ColoringTransport& gt = transports.global();
   InducedSubgraph all(g, std::vector<bool>(n, true));
-  LinialResult lin = linial_coloring(gnet, all);
-  std::int64_t coloring_rounds = gnet.metrics().rounds;
+  LinialResult lin = gt.linial(all, nullptr, 0);
 
   const int cbits = std::max(inst.color_bits(), 1);
   std::vector<bool> uncolored(n, true);
+  // Rounds charged for the per-cluster runs: within a class the max over
+  // its clusters, times kappa (pipelining up to kappa trees per edge).
+  std::int64_t cluster_rounds = 0;
+  congest::Metrics traffic;  // messages/bits of every transport, summed
+
+  // Pruning-exchange buffers (global transport), reused across classes.
+  std::vector<std::vector<NodeId>> targets(n);
+  std::vector<char> senders(n, 0);
+  std::vector<std::uint64_t> payloads(n, 0);
+  std::vector<std::vector<NodeId>> heard(n);
 
   for (int k = 0; k < res.decomposition.num_colors; ++k) {
     std::int64_t max_cluster_rounds = 0;
     std::vector<NodeId> class_nodes;
     for (const Cluster& c : res.decomposition.clusters) {
       if (c.color != k) continue;
-      // Private network: clusters of one class run in parallel; the
+      // Private transport: clusters of one class run in parallel; the
       // per-class cost is the max over clusters times the congestion.
-      congest::Network cnet(g, gnet.bandwidth_bits());
-      ClusterChannel chan(g, c);
+      ColoringTransport& ct = transports.cluster(c);
       std::vector<bool> memb(n, false);
       for (NodeId v : c.members) memb[v] = true;
       InducedSubgraph active(g, memb);
       assert(inst.feasible_for(active));
-      list_color_subset(cnet, chan, active, inst, res.colors, lin.coloring, lin.num_colors,
-                        opts);
-      max_cluster_rounds = std::max(max_cluster_rounds, cnet.metrics().rounds);
+      list_color_subset(ct, active, inst, res.colors, lin.coloring, lin.num_colors, opts);
+      max_cluster_rounds = std::max(max_cluster_rounds, ct.metrics().rounds);
+      traffic.messages += ct.metrics().messages;
+      traffic.total_bits += ct.metrics().total_bits;
+      traffic.max_message_bits =
+          std::max(traffic.max_message_bits, ct.metrics().max_message_bits);
       class_nodes.insert(class_nodes.end(), c.members.begin(), c.members.end());
     }
-    coloring_rounds += kappa * max_cluster_rounds;
+    cluster_rounds += kappa * max_cluster_rounds;
 
-    // Cross-cluster pruning: freshly colored nodes announce their color;
-    // uncolored neighbors outside the cluster drop it from their lists.
+    // Cross-cluster pruning (one global round): freshly colored nodes
+    // announce their color to every neighbor; uncolored neighbors outside
+    // the cluster drop it from their lists.
     for (NodeId v : class_nodes) {
       uncolored[v] = false;
-      gnet.send_all(v, static_cast<std::uint64_t>(res.colors[v]), cbits);
+      senders[v] = 1;
+      payloads[v] = static_cast<std::uint64_t>(res.colors[v]);
+      const auto nb = g.neighbors(v);
+      targets[v].assign(nb.begin(), nb.end());
     }
-    gnet.advance_round();
+    gt.exchange_along(targets, senders, payloads, cbits, &heard);
     for (NodeId v = 0; v < n; ++v) {
       if (!uncolored[v]) continue;
-      for (const congest::Incoming& m : gnet.inbox(v)) {
-        inst.remove_color(v, static_cast<Color>(m.payload));
-      }
+      for (NodeId u : heard[v]) inst.remove_color(v, res.colors[u]);
     }
-    ++coloring_rounds;
+    for (NodeId v : class_nodes) {
+      senders[v] = 0;
+      targets[v].clear();
+    }
   }
-  res.coloring_rounds = coloring_rounds;
+  res.coloring_rounds = gt.metrics().rounds + cluster_rounds;
   res.total_rounds = res.decomposition_rounds + res.coloring_rounds;
+  traffic.messages += gt.metrics().messages;
+  traffic.total_bits += gt.metrics().total_bits;
+  traffic.max_message_bits = std::max(traffic.max_message_bits, gt.metrics().max_message_bits);
+  res.metrics = traffic;
+  res.metrics.rounds = res.total_rounds;
   return res;
+}
+
+namespace {
+
+// Sequential reference backend: a congest::Network over the whole graph
+// for the global phases, and per cluster a private Network paired with a
+// ClusterChannel over the cluster's associated tree.
+class NetworkCorollary12Transports final : public Corollary12Transports {
+ public:
+  NetworkCorollary12Transports(const Graph& g, int bandwidth_bits)
+      : g_(&g), gnet_(g, bandwidth_bits), global_(gnet_) {}
+
+  ColoringTransport& global() override { return global_; }
+
+  ColoringTransport& cluster(const Cluster& c) override {
+    cluster_transport_.reset();
+    cluster_channel_.reset();
+    cluster_net_.emplace(*g_, gnet_.bandwidth_bits());
+    cluster_channel_.emplace(*g_, c);
+    cluster_transport_.emplace(*cluster_net_, *cluster_channel_);
+    return *cluster_transport_;
+  }
+
+ private:
+  const Graph* g_;
+  congest::Network gnet_;
+  NetworkColoringTransport global_;
+  std::optional<congest::Network> cluster_net_;
+  std::optional<ClusterChannel> cluster_channel_;
+  std::optional<NetworkColoringTransport> cluster_transport_;
+};
+
+}  // namespace
+
+Corollary12Result corollary12_solve(const Graph& g, ListInstance inst,
+                                    const PartialColoringOptions& opts) {
+  NetworkCorollary12Transports transports(g, opts.bandwidth_bits);
+  return corollary12_run(g, std::move(inst), transports, opts);
 }
 
 }  // namespace dcolor

@@ -13,6 +13,16 @@
 // parallel, so a class costs (max over its clusters) * kappa (the
 // congestion factor pays for pipelining messages of up to kappa trees
 // sharing an edge), plus one global pruning round.
+//
+// Like Theorem 1.1 (theorem11_run), the driver is written once over the
+// ColoringTransport abstraction: corollary12_run issues every
+// communication step (global Linial, per-cluster Lemma 2.1 loops over a
+// cluster-tree channel, the cross-cluster pruning exchange) through
+// transports supplied by a Corollary12Transports backend.
+// corollary12_solve runs it on the sequential congest::Network backend;
+// runtime::corollary12_coloring (src/runtime/corollary12_program.h) runs
+// the identical call sequence on the ParallelEngine with bit-identical
+// colors, decomposition, round accounting and Metrics.
 #pragma once
 
 #include "src/coloring/theorem11.h"
@@ -26,8 +36,39 @@ struct Corollary12Result {
   std::int64_t total_rounds = 0;      // decomposition + coloring, charged
   std::int64_t decomposition_rounds = 0;
   std::int64_t coloring_rounds = 0;
+  // Coloring-phase traffic (global Linial + pruning + every per-cluster
+  // run; cluster messages travel on G's edges, so totals add up).
+  // `metrics.rounds` equals total_rounds, i.e. it includes the kappa
+  // congestion factor and the decomposition's charged rounds.
+  congest::Metrics metrics;
 };
 
+// Supplies the transports the shared Corollary 1.2 driver runs over: one
+// long-lived global transport (Linial input coloring + the per-class
+// cross-cluster pruning exchange) and one fresh private transport per
+// cluster, whose seed-fixing channel aggregates over that cluster's
+// associated tree (clusters of one color class run in parallel, so each
+// gets its own simulator; the driver takes the max of their rounds).
+class Corollary12Transports {
+ public:
+  virtual ~Corollary12Transports() = default;
+
+  virtual ColoringTransport& global() = 0;
+
+  // Fresh transport for one cluster, same bandwidth as global(), with
+  // the cluster-tree channel pre-installed (build_tree is never called).
+  // The reference is invalidated by the next cluster() call.
+  virtual ColoringTransport& cluster(const Cluster& c) = 0;
+};
+
+// The shared driver: decomposition, global Linial, per-class cluster
+// coloring with kappa-charged rounds, cross-cluster pruning.
+Corollary12Result corollary12_run(const Graph& g, ListInstance inst,
+                                  Corollary12Transports& transports,
+                                  const PartialColoringOptions& opts = {});
+
+// Solves the instance on the sequential congest::Network backend
+// (honoring opts.bandwidth_bits, default model bandwidth when 0).
 Corollary12Result corollary12_solve(const Graph& g, ListInstance inst,
                                     const PartialColoringOptions& opts = {});
 

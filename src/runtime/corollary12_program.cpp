@@ -1,0 +1,73 @@
+#include "src/runtime/corollary12_program.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "src/congest/bfs_tree.h"  // to_fixed/from_fixed codec
+
+namespace dcolor::runtime {
+
+void cluster_tree_data(const Graph& g, const Cluster& cluster, TreeData* out) {
+  const NodeId n = g.num_nodes();
+  out->root = cluster.root;
+  out->depth = cluster.tree_depth;
+  out->level.assign(n, -1);
+  out->parent.assign(n, -1);
+  out->children.assign(n, {});
+  // tree_nodes lists a parent before its children, so one forward sweep
+  // settles every level (mirroring ClusterChannel's constructor).
+  for (std::size_t i = 0; i < cluster.tree_nodes.size(); ++i) {
+    const NodeId v = cluster.tree_nodes[i];
+    const NodeId p = cluster.tree_parent[i];
+    out->parent[v] = p;
+    out->level[v] = (p < 0) ? 0 : out->level[p] + 1;
+    out->depth = std::max(out->depth, out->level[v]);
+    if (p >= 0) out->children[p].push_back(v);
+  }
+  finalize_tree_positions(g, out);
+}
+
+ClusterEngineChannel::ClusterEngineChannel(const Graph& g, const Cluster& cluster) {
+  cluster_tree_data(g, cluster, &tree_);
+}
+
+std::pair<long double, long double> ClusterEngineChannel::aggregate_pair(
+    ParallelEngine& eng, const std::vector<long double>& values0,
+    const std::vector<long double>& values1) {
+  const auto [sum0, sum1] = aggregate_fixed_pair_sum(eng, tree_, values0, values1);
+  return {congest::from_fixed(sum0), congest::from_fixed(sum1)};
+}
+
+void ClusterEngineChannel::broadcast_bit(ParallelEngine& eng, int bit) {
+  // The rostered tree broadcast already matches ClusterChannel's
+  // charging: depth rounds, one 1-bit message per tree edge (a 1-bit
+  // payload never needs extra pipelined chunks).
+  tree_broadcast(eng, tree_, static_cast<std::uint64_t>(bit), 1);
+}
+
+EngineCorollary12Transports::EngineCorollary12Transports(const Graph& g, int num_threads,
+                                                         int bandwidth_bits)
+    : g_(&g), num_threads_(num_threads), global_(g, num_threads, bandwidth_bits) {}
+
+ColoringTransport& EngineCorollary12Transports::cluster(const Cluster& c) {
+  // One engine serves every cluster: ParallelEngine::run is reusable
+  // (each run gets a fresh stamp space) and resetting Metrics cannot
+  // alias stale inbox stamps, so swapping the channel + zeroing the
+  // counters gives a bit-identical fresh transport without rebuilding
+  // the CSR buffers or respawning the thread pool per cluster.
+  if (!cluster_) {
+    cluster_.emplace(*g_, num_threads_, global_.bandwidth_bits());
+  } else {
+    cluster_->engine().reset_metrics();
+  }
+  cluster_->set_channel(std::make_unique<ClusterEngineChannel>(*g_, c));
+  return *cluster_;
+}
+
+Corollary12Result corollary12_coloring(const Graph& g, ListInstance inst, int num_threads,
+                                       const PartialColoringOptions& opts) {
+  EngineCorollary12Transports transports(g, num_threads, opts.bandwidth_bits);
+  return corollary12_run(g, std::move(inst), transports, opts);
+}
+
+}  // namespace dcolor::runtime

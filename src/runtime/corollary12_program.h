@@ -1,0 +1,83 @@
+// Corollary 1.2 on the parallel engine: the cluster-scoped EngineChannel
+// (engine counterpart of dcolor::ClusterChannel) that aggregates and
+// broadcasts over one network-decomposition cluster's associated tree,
+// and the Corollary12Transports backend that injects it into a fresh
+// EngineColoringTransport per cluster via set_channel (build_tree is
+// never called — the decomposition already supplies the tree).
+//
+// Every program charges the exact CONGEST costs of the Network reference
+// (ClusterChannel): identical rounds, messages, bit totals and max
+// message size. Combined with the shared driver corollary12_run this
+// yields runtime::corollary12_coloring with bit-identical colors,
+// decomposition, round accounting (including the kappa congestion factor
+// and the per-class global pruning round) and Metrics at every thread
+// count — tests/corollary12_engine_test.cpp holds it to that.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "src/decomposition/corollary12.h"
+#include "src/runtime/derand_program.h"
+#include "src/runtime/theorem11_program.h"
+
+namespace dcolor::runtime {
+
+// TreeData over a cluster's associated tree: levels recomputed from the
+// parent arrays (a parent always precedes its children in tree_nodes),
+// rosters/CSR positions restricted to the tree's nodes so the
+// level-synchronous waves skip the rest of the graph. Steiner nodes are
+// tree nodes like any other. Depth mirrors ClusterChannel:
+// max(cluster.tree_depth, deepest level).
+void cluster_tree_data(const Graph& g, const Cluster& cluster, TreeData* out);
+
+// EngineChannel over a cluster tree — the engine mirror of
+// ClusterChannel, with identical charging: aggregate_pair runs one
+// convergecast wave (depth rounds, one min(64,B)-bit message per tree
+// edge) carrying both Q32.32 saturating sums, plus ceil(128/B)-1 charged
+// pipelined rounds; broadcast_bit runs depth rounds of 1-bit messages
+// down the tree.
+class ClusterEngineChannel final : public EngineChannel {
+ public:
+  ClusterEngineChannel(const Graph& g, const Cluster& cluster);
+
+  std::pair<long double, long double> aggregate_pair(
+      ParallelEngine& eng, const std::vector<long double>& values0,
+      const std::vector<long double>& values1) override;
+
+  void broadcast_bit(ParallelEngine& eng, int bit) override;
+
+  int depth() const { return tree_.depth; }
+  const TreeData& tree() const { return tree_; }
+
+ private:
+  TreeData tree_;
+};
+
+// Parallel backend for corollary12_run: an EngineColoringTransport over
+// the whole graph for the global phases (Linial + pruning exchanges) and
+// a fresh per-cluster EngineColoringTransport whose channel is a
+// ClusterEngineChannel over that cluster's tree.
+class EngineCorollary12Transports final : public Corollary12Transports {
+ public:
+  EngineCorollary12Transports(const Graph& g, int num_threads, int bandwidth_bits = 0);
+
+  ColoringTransport& global() override { return global_; }
+  ColoringTransport& cluster(const Cluster& c) override;
+
+ private:
+  const Graph* g_;
+  int num_threads_;
+  EngineColoringTransport global_;
+  std::optional<EngineColoringTransport> cluster_;
+};
+
+// Drop-in parallel counterpart of dcolor::corollary12_solve (same
+// defaults, same results, same round accounting and Metrics), executed
+// by the parallel engine at the given thread count.
+Corollary12Result corollary12_coloring(const Graph& g, ListInstance inst, int num_threads,
+                                       const PartialColoringOptions& opts = {});
+
+}  // namespace dcolor::runtime

@@ -1,6 +1,7 @@
 #include "src/runtime/derand_program.h"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <cassert>
 
@@ -57,17 +58,20 @@ class BfsBuildProgram final : public NodeProgram {
 
 // Level-synchronous convergecast (the NodeProgram form of
 // congest::BfsTree::aggregate): in phase r the nodes at level depth-r
-// combine their children's accumulators and forward toward the root.
-// Only the first bandwidth-sized chunk travels through the simulator —
-// the parent reads the child's full accumulator across the phase barrier
-// — exactly the accounting the Network implementation uses; extra chunks
-// are charged by the caller via tick.
+// combine their children's K saturating accumulators and forward toward
+// the root. Only the first accumulator's first bandwidth-sized chunk
+// travels through the simulator — the parent reads the child's full
+// accumulators across the phase barrier, and every further word/chunk
+// is charged by the caller via tick — exactly the accounting the
+// Network implementations use (BfsTree::aggregate at K=1,
+// ClusterChannel::aggregate_pair at K=2).
+template <std::size_t K>
 class TreeAggregateProgram final : public NodeProgram {
  public:
-  TreeAggregateProgram(const TreeData& t, std::vector<std::uint64_t> values,
+  TreeAggregateProgram(const TreeData& t, std::array<std::vector<std::uint64_t>, K> acc,
                        int bits_per_value, int bandwidth)
-      : tree_(&t), acc_(std::move(values)), bits_per_value_(bits_per_value) {
-    first_chunk_bits_ = std::min(bits_per_value_, bandwidth);
+      : tree_(&t), acc_(std::move(acc)) {
+    first_chunk_bits_ = std::min(bits_per_value, bandwidth);
   }
 
   void init(NodeId v, Outbox& out) override {
@@ -76,11 +80,10 @@ class TreeAggregateProgram final : public NodeProgram {
 
   void on_round(std::int64_t round, NodeId v, const Inbox& in, Outbox& out) override {
     if (tree_->level[v] != tree_->depth - static_cast<int>(round)) return;
-    // Saturating sum over children in ascending-id order (matching the
-    // Network inbox order; the combine is order-independent anyway).
+    // Saturating sums over children in ascending-id order (matching the
+    // Network inbox order; sat_add_u64 is order-independent anyway).
     in.for_each([&](NodeId from, std::uint64_t) {
-      const std::uint64_t s = acc_[v] + acc_[from];
-      acc_[v] = s < acc_[v] ? ~std::uint64_t{0} : s;
+      for (std::size_t k = 0; k < K; ++k) acc_[k][v] = sat_add_u64(acc_[k][v], acc_[k][from]);
     });
     if (v != tree_->root) send_up(v, out);
   }
@@ -94,19 +97,23 @@ class TreeAggregateProgram final : public NodeProgram {
     return &tree_->by_level[lev];
   }
 
-  std::uint64_t result() const { return acc_[tree_->root]; }
+  std::array<std::uint64_t, K> result() const {
+    std::array<std::uint64_t, K> r;
+    for (std::size_t k = 0; k < K; ++k) r[k] = acc_[k][tree_->root];
+    return r;
+  }
 
  private:
   void send_up(NodeId v, Outbox& out) {
     const std::uint64_t first_chunk =
-        first_chunk_bits_ >= 64 ? acc_[v]
-                                : (acc_[v] & ((std::uint64_t{1} << first_chunk_bits_) - 1));
+        first_chunk_bits_ >= 64
+            ? acc_[0][v]
+            : (acc_[0][v] & ((std::uint64_t{1} << first_chunk_bits_) - 1));
     out.send_nth(tree_->parent_nth[v], first_chunk, first_chunk_bits_);
   }
 
   const TreeData* tree_;
-  std::vector<std::uint64_t> acc_;
-  int bits_per_value_;
+  std::array<std::vector<std::uint64_t>, K> acc_;
   int first_chunk_bits_;
 };
 
@@ -161,6 +168,10 @@ void build_tree_data(ParallelEngine& eng, NodeId root, TreeData* out) {
     out->depth = std::max(out->depth, out->level[v]);
     if (out->parent[v] >= 0) out->children[out->parent[v]].push_back(v);
   }
+  finalize_tree_positions(g, out);
+}
+
+void finalize_tree_positions(const Graph& g, TreeData* out) {
   out->by_level.assign(static_cast<std::size_t>(out->depth) + 1, {});
   out->parent_nth.assign(g.num_nodes(), -1);
   out->children_nth.assign(g.num_nodes(), {});
@@ -169,6 +180,7 @@ void build_tree_data(ParallelEngine& eng, NodeId root, TreeData* out) {
     return static_cast<int>(std::lower_bound(nb.begin(), nb.end(), u) - nb.begin());
   };
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (out->level[v] < 0) continue;
     out->by_level[out->level[v]].push_back(v);
     if (out->parent[v] >= 0) out->parent_nth[v] = nth_of(v, out->parent[v]);
     out->children_nth[v].reserve(out->children[v].size());
@@ -181,11 +193,32 @@ std::uint64_t aggregate_fixed_sum(ParallelEngine& eng, const TreeData& tree,
   std::vector<std::uint64_t> enc(values.size());
   for (std::size_t i = 0; i < values.size(); ++i) enc[i] = congest::to_fixed(values[i]);
   constexpr int kBits = 64;
-  TreeAggregateProgram prog(tree, std::move(enc), kBits, eng.bandwidth_bits());
+  TreeAggregateProgram<1> prog(tree, {std::move(enc)}, kBits, eng.bandwidth_bits());
   eng.run(prog);
   const int chunks = (kBits + eng.bandwidth_bits() - 1) / eng.bandwidth_bits();
   if (chunks > 1) eng.tick(chunks - 1);
-  return prog.result();
+  return prog.result()[0];
+}
+
+std::pair<std::uint64_t, std::uint64_t> aggregate_fixed_pair_sum(
+    ParallelEngine& eng, const TreeData& tree, const std::vector<long double>& values0,
+    const std::vector<long double>& values1) {
+  const NodeId n = eng.graph().num_nodes();
+  std::vector<std::uint64_t> acc0(n, 0);
+  std::vector<std::uint64_t> acc1(n, 0);
+  for (const auto& level : tree.by_level) {
+    for (NodeId v : level) {
+      acc0[v] = congest::to_fixed(values0[v]);
+      acc1[v] = congest::to_fixed(values1[v]);
+    }
+  }
+  TreeAggregateProgram<2> prog(tree, {std::move(acc0), std::move(acc1)}, 64,
+                               eng.bandwidth_bits());
+  eng.run(prog);
+  const int chunks = (128 + eng.bandwidth_bits() - 1) / eng.bandwidth_bits();
+  if (chunks > 1) eng.tick(chunks - 1);
+  const auto sums = prog.result();
+  return {sums[0], sums[1]};
 }
 
 void tree_broadcast(ParallelEngine& eng, const TreeData& tree, std::uint64_t value, int bits) {

@@ -43,12 +43,29 @@ struct TreeData {
 // send_all per node — exactly congest::BfsTree::build.
 void build_tree_data(ParallelEngine& eng, NodeId root, TreeData* out);
 
+// Fills the dispatch accelerators (by_level rosters in ascending id
+// order, parent/children CSR positions) of a TreeData whose
+// root/depth/level/parent/children are already set. Nodes with level < 0
+// are outside the tree and get no roster slot. Shared tail of the BFS
+// (build_tree_data) and cluster-tree (cluster_tree_data) constructions.
+void finalize_tree_positions(const Graph& g, TreeData* out);
+
 // Level-synchronous convergecast of the saturating sum of Q32.32
 // encodings over the tree (the engine form of congest::aggregate_fixed_sum
 // + BfsTree::aggregate): depth rounds plus ceil(64/B)-1 charged pipelined
 // rounds, one message per tree edge.
 std::uint64_t aggregate_fixed_sum(ParallelEngine& eng, const TreeData& tree,
                                   const std::vector<long double>& values);
+
+// Convergecast of the saturating sums of TWO Q32.32 encodings in ONE
+// wave over the tree (the engine form of ClusterChannel::aggregate_pair):
+// depth rounds plus ceil(128/B)-1 charged pipelined rounds, one
+// min(64,B)-bit message per tree edge carrying the first word's first
+// chunk — the second word rides the charged pipelined chunks, summed
+// across the phase barrier. Only tree nodes (level >= 0) contribute.
+std::pair<std::uint64_t, std::uint64_t> aggregate_fixed_pair_sum(
+    ParallelEngine& eng, const TreeData& tree, const std::vector<long double>& values0,
+    const std::vector<long double>& values1);
 
 // Root-to-all broadcast of one `bits`-bit value over the tree (the engine
 // form of BfsTree::broadcast): depth rounds plus charged pipelining, one

@@ -1,0 +1,161 @@
+// Corollary 1.2 on the parallel engine, tested head-on:
+//  1. Channel parity — ClusterEngineChannel charges exactly what
+//     ClusterChannel charges (depth, rounds, messages, bit totals) and
+//     computes the identical saturating Q32.32 pair sums and broadcasts,
+//     per cluster, across the decomposition corpus, at 1 and N threads.
+//  2. Execution parity — runtime::corollary12_coloring is bit-identical
+//     to corollary12_solve (colors, decomposition, round accounting
+//     including the kappa congestion factor and the per-class pruning
+//     round, Metrics) at 1/2/4 threads.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/congest/network.h"
+#include "src/decomposition/corollary12.h"
+#include "src/decomposition/netdecomp.h"
+#include "src/graph/generators.h"
+#include "src/runtime/corollary12_program.h"
+#include "tests/test_support.h"
+
+namespace dcolor {
+namespace {
+
+using runtime::ClusterEngineChannel;
+using runtime::ParallelEngine;
+
+std::vector<test::NamedGraph> decomposition_corpus() {
+  std::vector<test::NamedGraph> v = test::stress_corpus();
+  v.push_back({"path64", make_path(64)});
+  return v;
+}
+
+void expect_metrics_eq(const congest::Metrics& a, const congest::Metrics& b,
+                       const std::string& where) {
+  EXPECT_EQ(a.rounds, b.rounds) << where;
+  EXPECT_EQ(a.messages, b.messages) << where;
+  EXPECT_EQ(a.total_bits, b.total_bits) << where;
+  EXPECT_EQ(a.max_message_bits, b.max_message_bits) << where;
+}
+
+TEST(ClusterEngineChannelParity, AggregateAndBroadcastMatchOnCorpus) {
+  for (const auto& [name, g] : decomposition_corpus()) {
+    const auto d = decompose(g);
+    // Node values everywhere: the channels must restrict the sums to the
+    // cluster's tree nodes (Steiner nodes included) on their own.
+    std::vector<long double> v0(g.num_nodes()), v1(g.num_nodes());
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      v0[v] = 0.125L * (v % 17) + 0.25L;
+      v1[v] = 1.0L / (1.0L + v);
+    }
+    for (const Cluster& c : d.clusters) {
+      congest::Network net(g);
+      ClusterChannel ref(g, c);
+      const auto [r0, r1] = ref.aggregate_pair(net, v0, v1);
+      ref.broadcast_bit(net, 1);
+      for (int threads : {1, 3}) {
+        const std::string where =
+            name + " cluster root=" + std::to_string(c.root) + " t=" + std::to_string(threads);
+        ParallelEngine eng(g, threads);
+        ClusterEngineChannel chan(g, c);
+        EXPECT_EQ(chan.depth(), ref.depth()) << where;
+        const auto [e0, e1] = chan.aggregate_pair(eng, v0, v1);
+        // Both sides sum identical Q32.32 encodings with saturating
+        // adds, so the results are bit-identical, not merely close.
+        EXPECT_EQ(e0, r0) << where;
+        EXPECT_EQ(e1, r1) << where;
+        chan.broadcast_bit(eng, 1);
+        expect_metrics_eq(eng.metrics(), net.metrics(), where);
+      }
+    }
+  }
+}
+
+TEST(ClusterEngineChannelParity, ThreadCountCannotPerturbCharges) {
+  auto g = make_clustered(5, 12, 0.5, 10, test::kTestSeed + 2);
+  const auto d = decompose(g);
+  const Cluster* big = &d.clusters[0];
+  for (const auto& c : d.clusters) {
+    if (c.tree_nodes.size() > big->tree_nodes.size()) big = &c;
+  }
+  std::vector<long double> v0(g.num_nodes(), 0.5L), v1(g.num_nodes(), 0.25L);
+  ParallelEngine eng1(g, 1);
+  ClusterEngineChannel chan1(g, *big);
+  const auto ref = chan1.aggregate_pair(eng1, v0, v1);
+  for (int threads : {2, 4, 8}) {
+    ParallelEngine eng(g, threads);
+    ClusterEngineChannel chan(g, *big);
+    const auto got = chan.aggregate_pair(eng, v0, v1);
+    EXPECT_EQ(got.first, ref.first) << threads;
+    EXPECT_EQ(got.second, ref.second) << threads;
+    expect_metrics_eq(eng.metrics(), eng1.metrics(), "t=" + std::to_string(threads));
+  }
+}
+
+void expect_corollary12_eq(const Corollary12Result& got, const Corollary12Result& ref,
+                           const std::string& where) {
+  EXPECT_EQ(got.colors, ref.colors) << where;
+  EXPECT_EQ(got.decomposition_rounds, ref.decomposition_rounds) << where;
+  EXPECT_EQ(got.coloring_rounds, ref.coloring_rounds) << where;
+  EXPECT_EQ(got.total_rounds, ref.total_rounds) << where;
+  EXPECT_EQ(got.decomposition.num_colors, ref.decomposition.num_colors) << where;
+  EXPECT_EQ(got.decomposition.cluster_of, ref.decomposition.cluster_of) << where;
+  expect_metrics_eq(got.metrics, ref.metrics, where);
+}
+
+TEST(Corollary12EngineParity, MatchesNetworkOnCorpus) {
+  for (const auto& [name, g] : decomposition_corpus()) {
+    auto inst = ListInstance::delta_plus_one(g);
+    const ListInstance pristine = inst;
+    const Corollary12Result ref = corollary12_solve(g, inst);
+    for (int threads : {1, 4}) {
+      const Corollary12Result got = runtime::corollary12_coloring(g, inst, threads);
+      expect_corollary12_eq(got, ref, name + " t=" + std::to_string(threads));
+      EXPECT_TRUE(pristine.valid_solution(got.colors)) << name;
+    }
+  }
+}
+
+TEST(Corollary12EngineParity, AllThreadCountsOnClustered) {
+  auto g = make_clustered(5, 12, 0.5, 10, test::kTestSeed + 2);
+  auto inst = ListInstance::random_lists(g, 4 * (g.max_degree() + 1), 31);
+  const ListInstance pristine = inst;
+  const Corollary12Result ref = corollary12_solve(g, inst);
+  EXPECT_GT(ref.metrics.messages, 0);  // records must carry real traffic now
+  for (int threads : {1, 2, 4}) {
+    const Corollary12Result got = runtime::corollary12_coloring(g, inst, threads);
+    expect_corollary12_eq(got, ref, "t=" + std::to_string(threads));
+    EXPECT_TRUE(pristine.valid_solution(got.colors)) << threads;
+  }
+}
+
+TEST(Corollary12EngineParity, NarrowBandwidthReroutesChunkedPaths) {
+  // A narrow bandwidth forces multi-chunk pipelining through the cluster
+  // channel (ceil(128/B)-1 charged rounds) and the exchanges; parity
+  // must survive the rerouted accounting.
+  auto g = make_clustered(4, 10, 0.5, 8, test::kTestSeed + 3);
+  PartialColoringOptions opts;
+  opts.bandwidth_bits = 12;
+  auto inst = ListInstance::delta_plus_one(g);
+  const Corollary12Result ref = corollary12_solve(g, inst, opts);
+  const Corollary12Result got = runtime::corollary12_coloring(g, inst, 3, opts);
+  expect_corollary12_eq(got, ref, "narrow_bw");
+  EXPECT_TRUE(inst.valid_solution(got.colors));
+}
+
+TEST(Corollary12EngineParity, TinyGraphs) {
+  Graph empty = Graph::from_edges(0, {});
+  const auto r0 = runtime::corollary12_coloring(empty, ListInstance::delta_plus_one(empty), 2);
+  EXPECT_TRUE(r0.colors.empty());
+
+  Graph one = Graph::from_edges(1, {});
+  auto inst1 = ListInstance::delta_plus_one(one);
+  const auto ref = corollary12_solve(one, inst1);
+  const auto got = runtime::corollary12_coloring(one, inst1, 4);
+  expect_corollary12_eq(got, ref, "one-node");
+  EXPECT_NE(got.colors[0], kUncolored);
+}
+
+}  // namespace
+}  // namespace dcolor
