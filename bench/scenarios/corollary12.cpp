@@ -72,6 +72,30 @@ Scenario engine_scenario(const std::string& family, const std::string& descripti
       }};
 }
 
+// Thread-scaling workload: MANY small clusters (far more per
+// decomposition color class than any realistic thread count), so every
+// class hands run_cluster_class a deep batch of independent clusters —
+// the regime where the concurrent per-cluster engines turn the paper's
+// max-over-clusters charged rounds into wall-clock speedup. Engine-only
+// (no Network twin at this size); the thread sweep itself is the parity
+// check, since Metrics and checksum must agree across thread counts.
+Scenario scaling_scenario() {
+  return Scenario{
+      "corollary12.engine.scaling",
+      "Corollary 1.2 thread scaling, ParallelEngine, many-cluster clustered graph",
+      "clustered", "corollary12", "engine", "corollary12.scaling", /*scalable=*/true,
+      [](const RunConfig& c) {
+        const std::uint64_t seed = family_seed("clustered");
+        auto g = std::make_shared<Graph>(c.quick ? make_clustered(12, 10, 0.35, 10, seed)
+                                                 : make_clustered(32, 16, 0.35, 24, seed));
+        return Prepared{[g, threads = c.threads, seed] {
+          const Corollary12Result res =
+              runtime::corollary12_coloring(*g, ListInstance::delta_plus_one(*g), threads);
+          return outcome_of(*g, res, seed);
+        }};
+      }};
+}
+
 REGISTER_SCENARIO(network_scenario(
     "clustered", "Corollary 1.2 via network decomposition, Network, clustered graph"));
 REGISTER_SCENARIO(engine_scenario(
@@ -80,6 +104,7 @@ REGISTER_SCENARIO(
     network_scenario("grid", "Corollary 1.2 via network decomposition, Network, grid"));
 REGISTER_SCENARIO(
     engine_scenario("grid", "Corollary 1.2 via network decomposition, ParallelEngine, grid"));
+REGISTER_SCENARIO(scaling_scenario());
 
 }  // namespace
 }  // namespace dcolor

@@ -20,6 +20,10 @@ namespace dcolor::benchkit {
 
 namespace {
 
+// Upper bound for --threads entries: generous for any real machine, small
+// enough to catch typos ("40960") before ThreadPool tries to spawn them.
+constexpr int kMaxThreads = 1024;
+
 constexpr const char* kUsage =
     "dcolor-bench — unified workload driver over the benchkit scenario registry\n"
     "\n"
@@ -27,7 +31,8 @@ constexpr const char* kUsage =
     "  --min-scenarios N    with --list: exit 1 if fewer than N scenarios register\n"
     "  --filter S1,S2,...   run only scenarios whose name contains any substring\n"
     "  --quick              CI-sized instances instead of full-sized\n"
-    "  --threads T1,T2,...  thread counts for scalable (engine) scenarios [1,2]\n"
+    "  --threads T1,T2,...  thread counts for scalable (engine) scenarios, each\n"
+    "                       in [1, 1024] [1,2]\n"
     "  --reps R             timed repetitions per scenario, median reported [3]\n"
     "  --warmup W           verified warmup executions before timing [1]\n"
     "  --seed S             generator seed for scenarios that accept one [42]\n"
@@ -139,11 +144,27 @@ int run_cli(int argc, char** argv, std::FILE* out) {
   if (!warmup.empty()) opt.warmup = std::max(0, static_cast<int>(warmup.front()));
   opt.seed = std::strtoull(flag_value(argc, argv, "--seed", "42").c_str(), nullptr, 10);
 
-  std::vector<int> thread_counts;
-  for (long long t : parse_int_list(flag_value(argc, argv, "--threads", "1,2"))) {
-    if (t >= 1) thread_counts.push_back(static_cast<int>(t));
+  // --threads is validated, not silently filtered: "0", "-3" or "4096"
+  // used to be dropped on the floor and the sweep quietly ran at the
+  // surviving (or default) counts — a benchmark that LOOKS like it
+  // measured the requested configuration. Bad values are a usage error.
+  const std::string threads_csv = flag_value(argc, argv, "--threads", "1,2");
+  const auto threads_parsed = parse_int_list(threads_csv);
+  if (threads_parsed.empty()) {
+    std::fprintf(stderr, "dcolor-bench: --threads '%s' contains no integer thread counts\n\n%s",
+                 threads_csv.c_str(), kUsage);
+    return kExitUsage;
   }
-  if (thread_counts.empty()) thread_counts.push_back(1);
+  std::vector<int> thread_counts;
+  for (long long t : threads_parsed) {
+    if (t < 1 || t > kMaxThreads) {
+      std::fprintf(stderr,
+                   "dcolor-bench: invalid --threads value %lld (must be in [1, %d])\n\n%s", t,
+                   kMaxThreads, kUsage);
+      return kExitUsage;
+    }
+    thread_counts.push_back(static_cast<int>(t));
+  }
 
   // Run: scalable scenarios expand over the thread list (the cross
   // product), everything else runs once.
@@ -153,11 +174,12 @@ int run_cli(int argc, char** argv, std::FILE* out) {
     const std::vector<int> expansion = s.scalable ? thread_counts : std::vector<int>{1};
     for (int threads : expansion) {
       Measurement m = run_scenario(s, threads, opt);
-      std::fprintf(out, "%-34s t=%-2d n=%-8lld %9.2f ms  rounds=%-10lld %s%s\n",
+      std::fprintf(out, "%-34s t=%-2d n=%-8lld %9.2f ms  rounds=%-10lld %s%s%s\n",
                    m.name.c_str(), m.threads, static_cast<long long>(m.outcome.n),
                    m.wall_ms_median, static_cast<long long>(m.outcome.metrics.rounds),
                    m.verified ? "verified" : "VERIFY-FAILED",
-                   m.checksum_stable ? "" : " CHECKSUM-UNSTABLE");
+                   m.checksum_stable ? "" : " CHECKSUM-UNSTABLE",
+                   m.warmup_checksum_matched ? "" : " warmup-transient");
       if (!m.ok()) all_ok = false;
       measurements.push_back(std::move(m));
     }

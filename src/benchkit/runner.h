@@ -1,8 +1,10 @@
 // The benchkit workload runner: executes one scenario instance with
 // warmup + repeated timed runs, reports median and spread wall-clock,
-// captures the process's peak RSS and the run's congest::Metrics, and
+// captures a PER-SCENARIO peak RSS and the run's congest::Metrics, and
 // verifies the output on EVERY execution (warmup included) — an
-// unverified run or an unstable checksum marks the measurement failed.
+// unverified run or a checksum unstable across the MEASURED reps marks
+// the measurement failed (a warmup-only transient is reported separately
+// and does not fail the gate).
 #pragma once
 
 #include <cstdint>
@@ -37,10 +39,20 @@ struct Measurement {
   int reps = 0;
   int warmup = 0;
   bool quick = false;
-  std::int64_t rss_peak_kb = 0;  // process peak RSS after the runs
+  // Peak RSS of THIS scenario's executions in KiB (not the process
+  // lifetime peak): on Linux the kernel's peak-RSS watermark is reset at
+  // the start of the scenario and VmHWM read back afterwards; elsewhere
+  // the figure degrades to the growth of the lifetime peak across the
+  // scenario (0 when memory peaked earlier in the process).
+  std::int64_t rss_peak_kb = 0;
 
   bool verified = false;         // every execution verified
-  bool checksum_stable = false;  // every execution produced the same checksum
+  // The measured reps all produced one checksum. Warmup reps are tracked
+  // separately (below) so a cold-start transient cannot fail the gate.
+  bool checksum_stable = false;
+  // Every warmup checksum equals the measured checksum (vacuously true
+  // with warmup = 0). Diagnostic only — not part of ok().
+  bool warmup_checksum_matched = false;
   bool ok() const { return verified && checksum_stable && outcome.n > 0; }
 };
 
@@ -53,6 +65,19 @@ Measurement run_scenario(const Scenario& s, int threads, const RunnerOptions& op
 double median(std::vector<double> values);
 
 // Peak resident set size of this process in KiB (0 where unsupported).
+// Process-LIFETIME peak: monotone non-decreasing, never scenario-scoped.
 std::int64_t peak_rss_kb();
+
+// Scenario-scoped RSS measurement window. begin() arms the window (on
+// Linux by resetting the kernel peak-RSS watermark via
+// /proc/self/clear_refs); end() returns the peak RSS attributable to the
+// window — VmHWM where the reset worked, otherwise the growth of the
+// lifetime peak since begin(). Windows must not nest.
+struct RssWindow {
+  bool reset_worked = false;     // clear_refs reset succeeded; read VmHWM
+  std::int64_t baseline_kb = 0;  // lifetime peak at begin() (fallback)
+};
+RssWindow rss_window_begin();
+std::int64_t rss_window_end(const RssWindow& w);
 
 }  // namespace dcolor::benchkit

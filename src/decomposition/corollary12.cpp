@@ -68,6 +68,20 @@ void ClusterChannel::broadcast_bit(congest::Network& net, int bit) {
   }
 }
 
+void Corollary12Transports::run_cluster_class(const std::vector<const Cluster*>& batch,
+                                              const ClusterWork& work,
+                                              std::vector<congest::Metrics>* out_metrics) {
+  // Sequential reference semantics: one fresh transport after another, in
+  // batch order. Concurrent backends override this and must produce the
+  // identical out_metrics slots.
+  out_metrics->assign(batch.size(), congest::Metrics{});
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    ColoringTransport& ct = cluster(*batch[i]);
+    work(*batch[i], ct);
+    (*out_metrics)[i] = ct.metrics();
+  }
+}
+
 Corollary12Result corollary12_run(const Graph& g, ListInstance inst,
                                   Corollary12Transports& transports,
                                   const PartialColoringOptions& opts) {
@@ -99,24 +113,38 @@ Corollary12Result corollary12_run(const Graph& g, ListInstance inst,
   std::vector<std::vector<NodeId>> heard(n);
 
   for (int k = 0; k < res.decomposition.num_colors; ++k) {
+    std::vector<const Cluster*> batch;
+    for (const Cluster& c : res.decomposition.clusters) {
+      if (c.color == k) batch.push_back(&c);
+    }
+    // Hand the whole class to the backend at once: same-class clusters
+    // are non-adjacent, so the per-cluster runs write disjoint entries of
+    // `colors` and `inst` and only read state no concurrent run mutates
+    // (g, lin, opts, other classes' lists) — a backend may execute them
+    // on concurrent simulators. The per-class cost stays the max over
+    // clusters times the congestion factor.
+    std::vector<congest::Metrics> cluster_metrics;
+    transports.run_cluster_class(
+        batch,
+        [&](const Cluster& c, ColoringTransport& ct) {
+          std::vector<bool> memb(n, false);
+          for (NodeId v : c.members) memb[v] = true;
+          InducedSubgraph active(g, memb);
+          assert(inst.feasible_for(active));
+          list_color_subset(ct, active, inst, res.colors, lin.coloring, lin.num_colors, opts);
+        },
+        &cluster_metrics);
+
     std::int64_t max_cluster_rounds = 0;
     std::vector<NodeId> class_nodes;
-    for (const Cluster& c : res.decomposition.clusters) {
-      if (c.color != k) continue;
-      // Private transport: clusters of one class run in parallel; the
-      // per-class cost is the max over clusters times the congestion.
-      ColoringTransport& ct = transports.cluster(c);
-      std::vector<bool> memb(n, false);
-      for (NodeId v : c.members) memb[v] = true;
-      InducedSubgraph active(g, memb);
-      assert(inst.feasible_for(active));
-      list_color_subset(ct, active, inst, res.colors, lin.coloring, lin.num_colors, opts);
-      max_cluster_rounds = std::max(max_cluster_rounds, ct.metrics().rounds);
-      traffic.messages += ct.metrics().messages;
-      traffic.total_bits += ct.metrics().total_bits;
-      traffic.max_message_bits =
-          std::max(traffic.max_message_bits, ct.metrics().max_message_bits);
-      class_nodes.insert(class_nodes.end(), c.members.begin(), c.members.end());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const congest::Metrics& cm = cluster_metrics[i];
+      max_cluster_rounds = std::max(max_cluster_rounds, cm.rounds);
+      traffic.messages += cm.messages;
+      traffic.total_bits += cm.total_bits;
+      traffic.max_message_bits = std::max(traffic.max_message_bits, cm.max_message_bits);
+      class_nodes.insert(class_nodes.end(), batch[i]->members.begin(),
+                         batch[i]->members.end());
     }
     cluster_rounds += kappa * max_cluster_rounds;
 

@@ -25,6 +25,8 @@
 // colors, decomposition, round accounting and Metrics.
 #pragma once
 
+#include <functional>
+
 #include "src/coloring/theorem11.h"
 #include "src/decomposition/netdecomp.h"
 
@@ -45,19 +47,40 @@ struct Corollary12Result {
 
 // Supplies the transports the shared Corollary 1.2 driver runs over: one
 // long-lived global transport (Linial input coloring + the per-class
-// cross-cluster pruning exchange) and one fresh private transport per
-// cluster, whose seed-fixing channel aggregates over that cluster's
-// associated tree (clusters of one color class run in parallel, so each
-// gets its own simulator; the driver takes the max of their rounds).
+// cross-cluster pruning exchange) and private per-cluster transports,
+// whose seed-fixing channels aggregate over each cluster's associated
+// tree. Clusters of one color class are pairwise non-adjacent
+// (Definition 3.1), so each gets its own simulator and a backend may run
+// a whole class CONCURRENTLY; the driver charges the max of their rounds
+// times the congestion factor either way.
 class Corollary12Transports {
  public:
   virtual ~Corollary12Transports() = default;
 
   virtual ColoringTransport& global() = 0;
 
+  // What the driver runs on one cluster: color it through the supplied
+  // transport (whose cluster-tree channel is pre-installed).
+  using ClusterWork = std::function<void(const Cluster&, ColoringTransport&)>;
+
+  // Runs `work` on every cluster of `batch` — all clusters of ONE
+  // decomposition color class. Same-class clusters share no nodes or
+  // edges, so their runs touch disjoint per-node state and backends may
+  // execute them concurrently (the engine backend dispatches them over
+  // the shared thread pool). `out_metrics` is resized to the batch and
+  // slot i receives cluster i's transport Metrics regardless of the
+  // execution interleaving, keeping the driver's charged-round
+  // accounting (kappa * max over the class) and traffic sums
+  // deterministic and bit-identical across backends and thread counts.
+  // The base implementation runs the batch sequentially via cluster().
+  virtual void run_cluster_class(const std::vector<const Cluster*>& batch,
+                                 const ClusterWork& work,
+                                 std::vector<congest::Metrics>* out_metrics);
+
   // Fresh transport for one cluster, same bandwidth as global(), with
   // the cluster-tree channel pre-installed (build_tree is never called).
-  // The reference is invalidated by the next cluster() call.
+  // The reference is invalidated by the next cluster() or
+  // run_cluster_class() call on the same backend.
   virtual ColoringTransport& cluster(const Cluster& c) = 0;
 };
 

@@ -1,9 +1,10 @@
 // Corollary 1.2 on the parallel engine: the cluster-scoped EngineChannel
 // (engine counterpart of dcolor::ClusterChannel) that aggregates and
 // broadcasts over one network-decomposition cluster's associated tree,
-// and the Corollary12Transports backend that injects it into a fresh
-// EngineColoringTransport per cluster via set_channel (build_tree is
-// never called — the decomposition already supplies the tree).
+// and the Corollary12Transports backend that injects it into per-cluster
+// EngineColoringTransports via set_channel (build_tree is never called —
+// the decomposition already supplies the tree) and runs the clusters of
+// one decomposition color class CONCURRENTLY over the shared thread pool.
 //
 // Every program charges the exact CONGEST costs of the Network reference
 // (ClusterChannel): identical rounds, messages, bit totals and max
@@ -15,7 +16,7 @@
 #pragma once
 
 #include <cstdint>
-#include <optional>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -58,20 +59,41 @@ class ClusterEngineChannel final : public EngineChannel {
 
 // Parallel backend for corollary12_run: an EngineColoringTransport over
 // the whole graph for the global phases (Linial + pruning exchanges) and
-// a fresh per-cluster EngineColoringTransport whose channel is a
-// ClusterEngineChannel over that cluster's tree.
+// per-cluster EngineColoringTransports whose channels are
+// ClusterEngineChannels over the clusters' trees.
+//
+// Clusters of one decomposition color class actually run concurrently:
+// run_cluster_class dispatches the class over the global engine's thread
+// pool (ThreadPool::run_tasks — work-stolen, no thread respawn), and
+// each pool worker owns one reusable single-threaded cluster transport
+// (built lazily on first use, reused across clusters and classes — no
+// per-cluster CSR rebuild beyond the tree restriction). Wall clock now
+// tracks the paper's charged rounds, which bill a class as the MAX over
+// its clusters; Metrics land per batch index, so colors, round
+// accounting and Metrics stay bit-identical to the Network reference at
+// every thread count.
 class EngineCorollary12Transports final : public Corollary12Transports {
  public:
   EngineCorollary12Transports(const Graph& g, int num_threads, int bandwidth_bits = 0);
 
   ColoringTransport& global() override { return global_; }
   ColoringTransport& cluster(const Cluster& c) override;
+  void run_cluster_class(const std::vector<const Cluster*>& batch, const ClusterWork& work,
+                         std::vector<congest::Metrics>* out_metrics) override;
 
  private:
+  // Worker `worker`'s reusable cluster transport, metrics reset; built on
+  // first use. Each pool worker owns its slot for a whole
+  // run_cluster_class call, so slots never contend.
+  EngineColoringTransport& slot(int worker);
+
   const Graph* g_;
   int num_threads_;
   EngineColoringTransport global_;
-  std::optional<EngineColoringTransport> cluster_;
+  // One single-threaded per-cluster transport per pool worker:
+  // parallelism comes from running many independent clusters at once,
+  // not from splitting one (small) cluster across threads.
+  std::vector<std::unique_ptr<EngineColoringTransport>> cluster_pool_;
 };
 
 // Drop-in parallel counterpart of dcolor::corollary12_solve (same

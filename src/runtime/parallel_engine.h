@@ -64,6 +64,13 @@ class ParallelEngine {
   int bandwidth_bits() const { return bandwidth_; }
   int num_threads() const { return pool_.num_threads(); }
 
+  // The engine's fixed thread pool. Exposed so schedulers can dispatch
+  // independent work (e.g. concurrent per-cluster engine runs of one
+  // decomposition color class) over the same threads via
+  // ThreadPool::run_tasks — never call it from inside a NodeProgram hook
+  // (the pool is mid-dispatch there and would deadlock).
+  ThreadPool& pool() { return pool_; }
+
   // Executes `program` to completion: an init phase, then deliver +
   // on_round phases until program.done(). Each phase charges one round.
   // If any node throws, the exception of the smallest-id throwing node is

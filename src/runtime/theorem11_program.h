@@ -48,8 +48,8 @@ class EngineColoringTransport final : public ColoringTransport {
   void tick(std::int64_t rounds) override { eng_.tick(rounds); }
   const congest::Metrics& metrics() const override { return eng_.metrics(); }
 
-  // Replace the aggregation channel (a cluster-tree EngineChannel for the
-  // per-cluster transport of a later PR).
+  // Replace the aggregation channel (a ClusterEngineChannel for the
+  // per-cluster transports of EngineCorollary12Transports).
   void set_channel(std::unique_ptr<EngineChannel> channel);
 
   ParallelEngine& engine() { return eng_; }

@@ -1,10 +1,18 @@
 #include "src/runtime/thread_pool.h"
 
-#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <limits>
+#include <stdexcept>
+#include <string>
 
 namespace dcolor::runtime {
 
-ThreadPool::ThreadPool(int num_threads) : num_threads_(std::max(1, num_threads)) {
+ThreadPool::ThreadPool(int num_threads) : num_threads_(num_threads) {
+  if (num_threads < 1) {
+    throw std::invalid_argument("ThreadPool: num_threads must be >= 1, got " +
+                                std::to_string(num_threads));
+  }
   workers_.reserve(static_cast<std::size_t>(num_threads_ - 1));
   for (int i = 1; i < num_threads_; ++i) {
     workers_.emplace_back([this, i] { worker_loop(i); });
@@ -36,6 +44,38 @@ void ThreadPool::run(const std::function<void(int)>& job) {
   std::unique_lock<std::mutex> lk(mu_);
   done_cv_.wait(lk, [this] { return pending_ == 0; });
   job_ = nullptr;
+}
+
+void ThreadPool::run_tasks(std::size_t count,
+                           const std::function<void(std::size_t, int)>& task) {
+  if (count == 0) return;
+  std::atomic<std::size_t> cursor{0};
+  // One failure slot per worker: a worker records its first throwing task
+  // and keeps draining the queue, so the barrier always completes and the
+  // smallest failing index wins regardless of interleaving.
+  struct Failure {
+    std::size_t index = std::numeric_limits<std::size_t>::max();
+    std::exception_ptr error;
+  };
+  std::vector<Failure> failures(static_cast<std::size_t>(num_threads_));
+  run([&](int worker) {
+    Failure& f = failures[static_cast<std::size_t>(worker)];
+    for (std::size_t i; (i = cursor.fetch_add(1, std::memory_order_relaxed)) < count;) {
+      try {
+        task(i, worker);
+      } catch (...) {
+        if (i < f.index) {
+          f.index = i;
+          f.error = std::current_exception();
+        }
+      }
+    }
+  });
+  const Failure* worst = nullptr;
+  for (const Failure& f : failures) {
+    if (f.error && (worst == nullptr || f.index < worst->index)) worst = &f;
+  }
+  if (worst != nullptr) std::rethrow_exception(worst->error);
 }
 
 void ThreadPool::worker_loop(int index) {

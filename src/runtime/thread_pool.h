@@ -1,9 +1,13 @@
 // Fixed-size thread pool with a full barrier per dispatch — the round
 // structure of the parallel engine maps directly onto it: one run() call
-// per phase, workers idle between phases.
+// per phase, workers idle between phases. run_tasks() layers a dynamic
+// task queue on the same threads (no respawn), which is how independent
+// per-cluster engine runs of one decomposition color class share the one
+// global pool (Corollary 1.2 wall-clock parallelism).
 #pragma once
 
 #include <condition_variable>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <mutex>
@@ -16,7 +20,9 @@ namespace dcolor::runtime {
 // invokes job(i) for every i in [0, num_threads) — index 0 on the caller
 // — and returns only after all invocations finished. Exceptions must not
 // escape `job`; the engine catches them per node chunk and rethrows
-// deterministically after the barrier.
+// deterministically after the barrier. Throws std::invalid_argument for
+// num_threads < 1 (a zero- or negative-width pool has no meaning and
+// silently clamping it hid caller bugs).
 class ThreadPool {
  public:
   explicit ThreadPool(int num_threads);
@@ -28,6 +34,19 @@ class ThreadPool {
   int num_threads() const { return num_threads_; }
 
   void run(const std::function<void(int)>& job);
+
+  // Dynamic dispatch of `count` INDEPENDENT tasks over the pool's
+  // threads: task(i, worker) is invoked exactly once for every
+  // i in [0, count), work-stolen via an atomic cursor so long tasks
+  // never serialize behind short ones. `worker` is the executing pool
+  // index in [0, num_threads) — tasks may use it to address per-worker
+  // scratch state (each worker owns its slot for the whole call).
+  // Returns after all tasks finished. Task assignment to workers is
+  // timing-dependent; tasks whose effects depend only on their index
+  // stay deterministic. If tasks throw, the exception of the
+  // smallest-index throwing task is rethrown after the barrier
+  // (deterministic across thread counts); the remaining tasks still run.
+  void run_tasks(std::size_t count, const std::function<void(std::size_t, int)>& task);
 
  private:
   void worker_loop(int index);

@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -248,6 +249,21 @@ TEST(BenchkitRegistry, ListRespectsMinScenarios) {
   EXPECT_EQ(cli({"--list", "--min-scenarios", "10"}), kExitVerifyFailure);
 }
 
+TEST(BenchkitCli, RejectsInvalidThreadCounts) {
+  // The old behavior silently dropped bad entries and ran the sweep at
+  // whatever survived; every malformed list is now a usage error.
+  for (const char* bad : {"0", "-3", "0,-3", "1,0,2", "2000", "abc", ","}) {
+    EXPECT_EQ(cli({"--quick", "--reps", "1", "--filter", "testkit.scalable", "--threads", bad}),
+              kExitUsage)
+        << "--threads " << bad;
+  }
+  // Boundary values stay accepted (no ThreadPool is spawned by the test
+  // scenario, so 1024 is just a config value here).
+  EXPECT_EQ(cli({"--quick", "--reps", "1", "--filter", "testkit.scalable", "--threads",
+                 "1,1024"}),
+            kExitOk);
+}
+
 TEST(BenchkitCli, RejectsUnknownFlags) {
   EXPECT_EQ(cli({"--frobnicate"}), kExitUsage);
   EXPECT_EQ(cli({"stray"}), kExitUsage);
@@ -342,6 +358,89 @@ TEST(BenchkitRunner, VerificationFailureExitsNonZero) {
 TEST(BenchkitRunner, UnstableChecksumExitsNonZero) {
   EXPECT_EQ(cli({"--quick", "--reps", "2", "--filter", "testkit.unstable"}),
             kExitVerifyFailure);
+}
+
+// A scenario whose FIRST execution produces a different checksum than
+// every later one (a cold-start transient, e.g. a lazily built cache).
+// Not registered: driven through run_scenario directly.
+Scenario transient_scenario(const std::string& name) {
+  auto counter = std::make_shared<int>(0);
+  return Scenario{name, "first execution differs", "synthetic", "testkit", "network", "",
+                  /*scalable=*/false, [counter](const RunConfig& c) {
+                    return Prepared{[counter, c] {
+                      Outcome o = busy_outcome(9, c);
+                      if ((*counter)++ == 0) o.checksum ^= 0xdeadbeefull;
+                      return o;
+                    }};
+                  }};
+}
+
+TEST(BenchkitRunner, WarmupTransientReportedButDoesNotFailStability) {
+  RunnerOptions opt;
+  opt.quick = true;
+  opt.reps = 2;
+  opt.warmup = 1;
+  // With one warmup rep the transient is absorbed: the measured reps
+  // agree among themselves, so the gate passes — but the warmup/measured
+  // mismatch is still reported. (The old single-first_checksum tracking
+  // compared everything against the WARMUP execution and flagged this
+  // run unstable.)
+  const Measurement warmed = run_scenario(transient_scenario("testkit.local.transient1"), 1, opt);
+  EXPECT_TRUE(warmed.checksum_stable);
+  EXPECT_FALSE(warmed.warmup_checksum_matched);
+  EXPECT_TRUE(warmed.ok());
+
+  // With no warmup the transient lands inside the measured reps and must
+  // still fail the gate; warmup matching is vacuously true.
+  opt.warmup = 0;
+  opt.reps = 3;
+  const Measurement cold = run_scenario(transient_scenario("testkit.local.transient2"), 1, opt);
+  EXPECT_FALSE(cold.checksum_stable);
+  EXPECT_FALSE(cold.ok());
+  EXPECT_TRUE(cold.warmup_checksum_matched);
+
+  // A steady scenario is clean on both flags.
+  opt.warmup = 1;
+  opt.reps = 2;
+  const Measurement steady = run_scenario(busy_scenario("testkit.local.steady", 1), 1, opt);
+  EXPECT_TRUE(steady.checksum_stable);
+  EXPECT_TRUE(steady.warmup_checksum_matched);
+}
+
+// Allocates and touches ~64 MiB for the duration of each execution; the
+// buffer is freed (and, being mmap-sized, returned to the OS) before the
+// next scenario runs.
+Scenario hog_scenario() {
+  return Scenario{"testkit.local.hog", "touches 64 MiB during run", "synthetic", "testkit",
+                  "network", "", /*scalable=*/false, [](const RunConfig& c) {
+                    return Prepared{[c] {
+                      constexpr std::size_t kBytes = 64u << 20;
+                      std::vector<unsigned char> buf(kBytes);
+                      for (std::size_t i = 0; i < kBytes; i += 512) {
+                        buf[i] = static_cast<unsigned char>(i);
+                      }
+                      Outcome o = busy_outcome(buf[kBytes - 512] % 4, c);
+                      return o;
+                    }};
+                  }};
+}
+
+TEST(BenchkitRunner, RssIsPerScenarioNotProcessLifetime) {
+  RunnerOptions opt;
+  opt.quick = true;
+  opt.reps = 1;
+  opt.warmup = 0;
+  const Measurement hog = run_scenario(hog_scenario(), 1, opt);
+  const Measurement lean = run_scenario(busy_scenario("testkit.local.lean", 1), 1, opt);
+  if (hog.rss_peak_kb == 0 && lean.rss_peak_kb == 0) {
+    GTEST_SKIP() << "RSS measurement unsupported on this platform";
+  }
+  EXPECT_GE(hog.rss_peak_kb, 64 * 1024) << "hog's own footprint must show in its figure";
+  // The regression this guards: rss_peak_kb used to be the process
+  // LIFETIME peak, so any scenario run after the hog reported a figure
+  // monotonically coupled to the hog's (lean >= hog). Per-scenario
+  // measurement must show the lean scenario well below it.
+  EXPECT_LE(lean.rss_peak_kb + 32 * 1024, hog.rss_peak_kb);
 }
 
 TEST(BenchkitRunner, ParityMismatchExitsNonZeroUnlessDisabled) {

@@ -6,10 +6,14 @@
 //  2. Execution parity — runtime::corollary12_coloring is bit-identical
 //     to corollary12_solve (colors, decomposition, round accounting
 //     including the kappa congestion factor and the per-class pruning
-//     round, Metrics) at 1/2/4 threads.
+//     round, Metrics) at 1/2/3/4 threads, and with more threads than a
+//     class has clusters.
+//  3. Stress — two whole per-cluster batch schedulers interleaved on
+//     OS threads stay deterministic (the TSan CI job runs this suite).
 #include <gtest/gtest.h>
 
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/congest/network.h"
@@ -123,10 +127,51 @@ TEST(Corollary12EngineParity, AllThreadCountsOnClustered) {
   const ListInstance pristine = inst;
   const Corollary12Result ref = corollary12_solve(g, inst);
   EXPECT_GT(ref.metrics.messages, 0);  // records must carry real traffic now
-  for (int threads : {1, 2, 4}) {
+  // Odd counts matter: 3 leaves a straggler worker in every work-stolen
+  // batch, the configuration most likely to expose an ordering bug.
+  for (int threads : {1, 2, 3, 4}) {
     const Corollary12Result got = runtime::corollary12_coloring(g, inst, threads);
     expect_corollary12_eq(got, ref, "t=" + std::to_string(threads));
     EXPECT_TRUE(pristine.valid_solution(got.colors)) << threads;
+  }
+}
+
+TEST(Corollary12EngineParity, MoreThreadsThanClustersInAnyClass) {
+  // 16 workers over a decomposition whose classes hold at most a handful
+  // of clusters: most workers never receive a task, some never build
+  // their pooled transport at all. Idle workers must not perturb the
+  // deterministic batch-indexed merge.
+  auto g = make_clustered(3, 8, 0.5, 6, test::kTestSeed + 4);
+  auto inst = ListInstance::delta_plus_one(g);
+  const ListInstance pristine = inst;
+  const auto d = decompose(g);
+  EXPECT_LT(d.clusters.size(), 16u);
+  const Corollary12Result ref = corollary12_solve(g, inst);
+  const Corollary12Result got = runtime::corollary12_coloring(g, inst, 16);
+  expect_corollary12_eq(got, ref, "t=16");
+  EXPECT_TRUE(pristine.valid_solution(got.colors));
+}
+
+TEST(Corollary12EngineStress, InterleavedConcurrentRunsStayDeterministic) {
+  // Two complete Corollary 1.2 runs — each with its own pool dispatching
+  // per-cluster engines concurrently — race each other on OS threads.
+  // Nothing may bleed between them: every repetition of both runs must
+  // reproduce the sequential reference bit for bit. This is the test the
+  // TSan CI job leans on to certify the concurrent cluster scheduler.
+  auto ga = make_clustered(6, 9, 0.45, 8, test::kTestSeed + 5);
+  auto gb = make_clustered(5, 11, 0.4, 7, test::kTestSeed + 6);
+  auto inst_a = ListInstance::delta_plus_one(ga);
+  auto inst_b = ListInstance::random_lists(gb, 3 * (gb.max_degree() + 1), 17);
+  const Corollary12Result ref_a = corollary12_solve(ga, inst_a);
+  const Corollary12Result ref_b = corollary12_solve(gb, inst_b);
+  for (int iter = 0; iter < 3; ++iter) {
+    Corollary12Result got_a, got_b;
+    std::thread ta([&] { got_a = runtime::corollary12_coloring(ga, inst_a, 3); });
+    std::thread tb([&] { got_b = runtime::corollary12_coloring(gb, inst_b, 2); });
+    ta.join();
+    tb.join();
+    expect_corollary12_eq(got_a, ref_a, "interleaved run A iter=" + std::to_string(iter));
+    expect_corollary12_eq(got_b, ref_b, "interleaved run B iter=" + std::to_string(iter));
   }
 }
 

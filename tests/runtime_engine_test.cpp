@@ -8,7 +8,9 @@
 //     implementations at 1 and N threads.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <functional>
+#include <stdexcept>
 #include <vector>
 
 #include "src/coloring/derand_mis.h"
@@ -283,6 +285,63 @@ TEST(ParallelEngine, TinyGraphs) {
 
   const DerandMisResult mis1 = runtime::derandomized_mis(one, 2);
   EXPECT_TRUE(mis1.in_mis[0]);
+}
+
+// ---- ThreadPool task dispatch ----
+
+TEST(ThreadPool, RejectsNonPositiveThreadCounts) {
+  EXPECT_THROW(runtime::ThreadPool(0), std::invalid_argument);
+  EXPECT_THROW(runtime::ThreadPool(-3), std::invalid_argument);
+}
+
+TEST(ThreadPool, RunTasksInvokesEveryIndexExactlyOnce) {
+  for (int threads : {1, 3, 4}) {
+    runtime::ThreadPool pool(threads);
+    constexpr std::size_t kCount = 97;  // not a multiple of any thread count
+    std::vector<std::atomic<int>> hits(kCount);
+    pool.run_tasks(kCount, [&](std::size_t i, int worker) {
+      ASSERT_GE(worker, 0);
+      ASSERT_LT(worker, threads);
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < kCount; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "task " << i << " at t=" << threads;
+    }
+    pool.run_tasks(0, [&](std::size_t, int) { FAIL() << "zero tasks must dispatch nothing"; });
+  }
+}
+
+TEST(ThreadPool, RunTasksMoreThreadsThanTasks) {
+  runtime::ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  pool.run_tasks(3, [&](std::size_t i, int) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPool, RunTasksRethrowsSmallestFailingIndex) {
+  // Failures at indices 3 and 7: whichever worker hits them, the pool
+  // must deterministically rethrow index 3's exception after the barrier
+  // while still running every other task.
+  for (int threads : {1, 4}) {
+    runtime::ThreadPool pool(threads);
+    std::vector<std::atomic<int>> hits(12);
+    try {
+      pool.run_tasks(12, [&](std::size_t i, int) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+        if (i == 3 || i == 7) throw std::runtime_error("task " + std::to_string(i));
+      });
+      FAIL() << "expected rethrow at t=" << threads;
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "task 3") << "t=" << threads;
+    }
+    for (std::size_t i = 0; i < 12; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "task " << i << " at t=" << threads;
+    }
+    // The pool survives a throwing batch and stays usable.
+    std::atomic<int> after{0};
+    pool.run_tasks(5, [&](std::size_t, int) { after.fetch_add(1, std::memory_order_relaxed); });
+    EXPECT_EQ(after.load(), 5) << "t=" << threads;
+  }
 }
 
 // ---- Theorem 1.1 parity ----
