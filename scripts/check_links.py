@@ -12,6 +12,14 @@ from pathlib import Path
 
 LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
 
+# Core docs that must exist AND be reachable from README.md — a rename
+# or an orphaned doc fails the gate even if no link is dead yet.
+REQUIRED_DOCS = (
+    "docs/ARCHITECTURE.md",
+    "docs/BENCH_SCHEMA.md",
+    "docs/OBSERVABILITY.md",
+)
+
 
 def candidate_files(root: Path):
     yield root / "README.md"
@@ -45,6 +53,19 @@ def check_file(md: Path, root: Path):
     return dead
 
 
+def check_required_docs(root: Path):
+    """Each REQUIRED_DOCS entry exists and README.md links to it."""
+    dead = []
+    readme = root / "README.md"
+    readme_text = readme.read_text(encoding="utf-8") if readme.is_file() else ""
+    for rel in REQUIRED_DOCS:
+        if not (root / rel).is_file():
+            dead.append(f"required doc '{rel}' is missing")
+        elif rel not in readme_text:
+            dead.append(f"required doc '{rel}' is not linked from README.md")
+    return dead
+
+
 def main():
     root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(".")
     failures = 0
@@ -56,6 +77,9 @@ def main():
         for lineno, target, why in check_file(md, root):
             print(f"{md.relative_to(root)}:{lineno}: dead link '{target}' ({why})")
             failures += 1
+    for problem in check_required_docs(root):
+        print(f"check_links: {problem}")
+        failures += 1
     if checked == 0:
         print("check_links: no markdown files found — wrong root?", file=sys.stderr)
         return 1

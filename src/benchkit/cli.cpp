@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <map>
 #include <set>
 #include <string>
@@ -37,6 +39,8 @@ constexpr const char* kUsage =
     "  --warmup W           verified warmup executions before timing [1]\n"
     "  --seed S             generator seed for scenarios that accept one [42]\n"
     "  --json-dir DIR       write one BENCH_<scenario>.json per instance to DIR\n"
+    "  --trace DIR          write one TRACE_<scenario>.json Chrome trace (open in\n"
+    "                       Perfetto / chrome://tracing) per instance to DIR\n"
     "  --baseline DIR       compare medians against DIR/BENCH_*.json; regression\n"
     "                       => exit 2\n"
     "  --threshold PCT      regression threshold in percent [15]\n"
@@ -48,7 +52,8 @@ constexpr const char* kUsage =
 const char* const kKnownFlags[] = {
     "--list",      "--min-scenarios", "--filter",  "--quick",        "--threads",
     "--reps",      "--warmup",        "--seed",    "--json-dir",     "--baseline",
-    "--threshold", "--abs-slack-ms",  "--no-calibrate", "--no-parity", "--help",
+    "--threshold", "--abs-slack-ms",  "--no-calibrate", "--no-parity", "--trace",
+    "--help",
 };
 
 // Flags that consume the following argv entry when written as
@@ -57,7 +62,7 @@ bool takes_value(const char* arg) {
   static const char* const valued[] = {"--min-scenarios", "--filter", "--threads",
                                        "--reps",          "--warmup", "--seed",
                                        "--json-dir",      "--baseline", "--threshold",
-                                       "--abs-slack-ms"};
+                                       "--abs-slack-ms",  "--trace"};
   for (const char* f : valued) {
     if (std::strcmp(arg, f) == 0) return true;
   }
@@ -143,6 +148,8 @@ int run_cli(int argc, char** argv, std::FILE* out) {
   const auto warmup = parse_int_list(flag_value(argc, argv, "--warmup", ""));
   if (!warmup.empty()) opt.warmup = std::max(0, static_cast<int>(warmup.front()));
   opt.seed = std::strtoull(flag_value(argc, argv, "--seed", "42").c_str(), nullptr, 10);
+  const std::string trace_dir = flag_value(argc, argv, "--trace", "");
+  opt.trace = !trace_dir.empty();
 
   // --threads is validated, not silently filtered: "0", "-3" or "4096"
   // used to be dropped on the floor and the sweep quietly ran at the
@@ -174,11 +181,12 @@ int run_cli(int argc, char** argv, std::FILE* out) {
     const std::vector<int> expansion = s.scalable ? thread_counts : std::vector<int>{1};
     for (int threads : expansion) {
       Measurement m = run_scenario(s, threads, opt);
-      std::fprintf(out, "%-34s t=%-2d n=%-8lld %9.2f ms  rounds=%-10lld %s%s%s\n",
+      std::fprintf(out, "%-34s t=%-2d n=%-8lld %9.2f ms  rounds=%-10lld %s%s%s%s\n",
                    m.name.c_str(), m.threads, static_cast<long long>(m.outcome.n),
                    m.wall_ms_median, static_cast<long long>(m.outcome.metrics.rounds),
                    m.verified ? "verified" : "VERIFY-FAILED",
                    m.checksum_stable ? "" : " CHECKSUM-UNSTABLE",
+                   m.profile_checksum_matched ? "" : " TRACE-PERTURBED",
                    m.warmup_checksum_matched ? "" : " warmup-transient");
       if (!m.ok()) all_ok = false;
       measurements.push_back(std::move(m));
@@ -228,6 +236,26 @@ int run_cli(int argc, char** argv, std::FILE* out) {
     }
     std::fprintf(out, "wrote %zu BENCH_*.json record(s) to %s\n", records.size(),
                  json_dir.c_str());
+  }
+
+  if (!trace_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(trace_dir, ec);
+    std::size_t written = 0;
+    for (std::size_t i = 0; i < measurements.size(); ++i) {
+      if (measurements[i].trace_json.empty()) continue;
+      const std::string path = trace_dir + "/" + trace_filename(records[i]);
+      std::ofstream f(path);
+      f << measurements[i].trace_json << "\n";
+      f.close();
+      if (!f) {
+        std::fprintf(stderr, "dcolor-bench: cannot write %s\n", path.c_str());
+        return kExitVerifyFailure;
+      }
+      ++written;
+    }
+    std::fprintf(out, "wrote %zu TRACE_*.json Chrome trace(s) to %s\n", written,
+                 trace_dir.c_str());
   }
 
   int exit_code = all_ok ? kExitOk : kExitVerifyFailure;

@@ -1,5 +1,4 @@
-// Tiny argv helpers shared by the dcolor-bench CLI and the deprecated
-// bench/bench_common.h shims (which delegate here).
+// Tiny argv helpers behind the dcolor-bench CLI.
 #pragma once
 
 #include <cstdlib>

@@ -2,7 +2,7 @@
 // string quoter, a streaming object writer (the producer of every
 // BENCH_*.json trajectory record), a small recursive-descent parser (the
 // consumer side of --baseline comparison and of the benchkit test suite),
-// and the table writer bench/bench_common.h delegates to.
+// and a canonical table writer for ad-hoc tabular output.
 //
 // Numeric values are emitted as JSON numbers, never strings; the one
 // deliberate exception is 64-bit checksums, which callers format as hex

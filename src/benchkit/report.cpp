@@ -55,12 +55,23 @@ Record to_record(const Measurement& m) {
   r.verified = m.verified;
   r.checksum_stable = m.checksum_stable;
   r.rss_peak_kb = m.rss_peak_kb;
+  if (r.wall_ms > 0 && r.rounds > 0) {
+    r.nodes_rounds_per_sec =
+        static_cast<double>(r.n) * static_cast<double>(r.rounds) * 1000.0 / r.wall_ms;
+  }
+  r.phase_wall_ms = m.phase_wall_ms;
   r.git = git_describe();
   return r;
 }
 
 std::string record_filename(const Record& r) {
   std::string name = "BENCH_" + sanitize(r.scenario);
+  if (r.scalable) name += "_t" + std::to_string(r.threads);
+  return name + ".json";
+}
+
+std::string trace_filename(const Record& r) {
+  std::string name = "TRACE_" + sanitize(r.scenario);
   if (r.scalable) name += "_t" + std::to_string(r.threads);
   return name + ".json";
 }
@@ -93,7 +104,14 @@ std::string record_json(const Record& r) {
       .field("verified", r.verified)
       .field("checksum_stable", r.checksum_stable)
       .field("rss_peak_kb", r.rss_peak_kb)
-      .field("git", r.git);
+      .field("nodes_rounds_per_sec", r.nodes_rounds_per_sec);
+  std::string phases = "{";
+  for (std::size_t i = 0; i < r.phase_wall_ms.size(); ++i) {
+    if (i) phases += ',';
+    phases += json_quote(r.phase_wall_ms[i].first) + ":" + json_number(r.phase_wall_ms[i].second);
+  }
+  phases += "}";
+  w.field_raw("phase_wall_ms", phases).field("git", r.git);
   return w.close();
 }
 
@@ -105,7 +123,7 @@ bool parse_record(const std::string& json_text, Record* out, std::string* err) {
     return false;
   }
   const std::string schema = v.string_or("schema", "");
-  if (schema != kRecordSchema) {
+  if (schema != kRecordSchema && schema != kRecordSchemaV1) {
     if (err) *err = "unexpected schema '" + schema + "'";
     return false;
   }
@@ -133,6 +151,16 @@ bool parse_record(const std::string& json_text, Record* out, std::string* err) {
   out->verified = v.bool_or("verified", false);
   out->checksum_stable = v.bool_or("checksum_stable", false);
   out->rss_peak_kb = static_cast<std::int64_t>(v.number_or("rss_peak_kb", 0));
+  // /2-only fields; a /1 record keeps the defaults (0 / empty).
+  out->nodes_rounds_per_sec = v.number_or("nodes_rounds_per_sec", 0);
+  if (const JsonValue* phases = v.find("phase_wall_ms");
+      phases != nullptr && phases->kind == JsonValue::Kind::kObject) {
+    for (const auto& [name, val] : phases->object) {
+      if (val.kind == JsonValue::Kind::kNumber) {
+        out->phase_wall_ms.emplace_back(name, val.number);
+      }
+    }
+  }
   out->git = v.string_or("git", "");
   if (out->scenario.empty()) {
     if (err) *err = "record has no scenario name";

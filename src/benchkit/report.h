@@ -2,12 +2,17 @@
 // run emits (one file per scenario instance), the reader, and the
 // baseline comparator behind `--baseline` / the CI regression gate.
 //
-// Schema "dcolor-bench/1" — every record is one flat JSON object with
-// these keys, in this order:
+// Schema "dcolor-bench/2" — every record is one JSON object with these
+// keys, in this order:
 //   schema, scenario, family, algorithm, transport, n, m, seed, threads,
 //   scalable, quick, warmup, reps, wall_ms (median), wall_ms_min,
 //   wall_ms_max, rounds, messages, total_bits, max_message_bits,
-//   checksum (hex string), verified, checksum_stable, rss_peak_kb, git
+//   checksum (hex string), verified, checksum_stable, rss_peak_kb,
+//   nodes_rounds_per_sec, phase_wall_ms (nested {phase: ms} object), git
+//
+// The parser also accepts "dcolor-bench/1" records (everything up to
+// rss_peak_kb + git), defaulting the /2 fields — so a /2 run still gates
+// against checked-in /1 baselines during a schema transition.
 //
 // Baseline comparison is CALIBRATED by default: with ratios r_i =
 // current_i / baseline_i, the median ratio estimates the machine-speed
@@ -20,13 +25,17 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/benchkit/runner.h"
 
 namespace dcolor::benchkit {
 
-inline constexpr const char* kRecordSchema = "dcolor-bench/1";
+inline constexpr const char* kRecordSchema = "dcolor-bench/2";
+// Previous schema, still accepted by parse_record (read-only back-compat;
+// the writer always emits kRecordSchema).
+inline constexpr const char* kRecordSchemaV1 = "dcolor-bench/1";
 
 struct Record {
   std::string scenario;
@@ -52,6 +61,14 @@ struct Record {
   bool verified = false;
   bool checksum_stable = false;
   std::int64_t rss_peak_kb = 0;
+  // /2: throughput in node-rounds per second — n * rounds / wall seconds,
+  // the engine-loop work rate the ROADMAP asks to track (0 when wall or
+  // rounds is 0, and on parsed /1 records).
+  double nodes_rounds_per_sec = 0.0;
+  // /2: per-phase wall-time totals (ms) from the profiled rep, sorted by
+  // phase name. Phases may nest or run concurrently, so this is span time
+  // per phase, not a partition of wall_ms. Empty on parsed /1 records.
+  std::vector<std::pair<std::string, double>> phase_wall_ms;
   std::string git;
 };
 
@@ -60,6 +77,10 @@ Record to_record(const Measurement& m);
 // "BENCH_<name with non-alnum -> '_'>[_t<threads>].json" (the thread
 // suffix only for scalable scenarios, keeping expanded instances apart).
 std::string record_filename(const Record& r);
+
+// "TRACE_<same stem>.json": where --trace writes the scenario execution's
+// Chrome trace alongside its BENCH record.
+std::string trace_filename(const Record& r);
 
 std::string record_json(const Record& r);
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "src/obs/obs.h"
+
 #if defined(__unix__) || defined(__APPLE__)
 #include <sys/resource.h>
 #endif
@@ -149,6 +151,29 @@ Measurement run_scenario(const Scenario& s, int threads, const RunnerOptions& op
   m.wall_ms_median = median(m.wall_ms);
   m.wall_ms_min = *std::min_element(m.wall_ms.begin(), m.wall_ms.end());
   m.wall_ms_max = *std::max_element(m.wall_ms.begin(), m.wall_ms.end());
+
+  // Profiled rep: one extra execution under a TraceSession, AFTER the
+  // timed reps so instrumentation cost can never leak into the medians.
+  // Its output is held to the same bar as every other execution — and to
+  // the measured checksum, making "tracing never perturbs results" a
+  // property checked on every benchmark run, not just in the test suite.
+  if (opt.profile) {
+    obs::TraceSession::Options topts;
+    topts.events = opt.trace;
+    obs::TraceSession session(topts);
+    Outcome o = prepared.run();
+    session.stop();
+    m.profiled = true;
+    m.verified = m.verified && o.verified;
+    m.profile_checksum_matched = (o.checksum == measured_checksum);
+    for (const obs::StatLine& st : session.stats()) {
+      if (st.cat == obs::kCatPhase) {
+        m.phase_wall_ms.emplace_back(st.name, static_cast<double>(st.total) / 1e6);
+      }
+    }
+    if (opt.trace) m.trace_json = session.chrome_trace_json();
+  }
+
   m.rss_peak_kb = rss_window_end(rss);
   return m;
 }

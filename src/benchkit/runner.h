@@ -8,6 +8,8 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "src/benchkit/scenario.h"
@@ -19,6 +21,15 @@ struct RunnerOptions {
   int reps = 3;     // timed repetitions (median reported)
   int warmup = 1;   // untimed-but-verified executions first
   std::uint64_t seed = 42;
+  // After the timed reps, run ONE extra execution under an obs
+  // TraceSession to collect the per-phase wall-time breakdown — the timed
+  // medians stay uninstrumented. The profiled rep is verified and its
+  // checksum compared against the measured reps, so tracing that perturbs
+  // results is caught on every benchmark run.
+  bool profile = true;
+  // With profile: also keep per-event storage and export the Chrome
+  // trace JSON into Measurement::trace_json (the CLI's --trace flag).
+  bool trace = false;
 };
 
 struct Measurement {
@@ -53,7 +64,23 @@ struct Measurement {
   // Every warmup checksum equals the measured checksum (vacuously true
   // with warmup = 0). Diagnostic only — not part of ok().
   bool warmup_checksum_matched = false;
-  bool ok() const { return verified && checksum_stable && outcome.n > 0; }
+
+  // Profiled rep (RunnerOptions::profile): per-phase wall-time totals in
+  // ms from cat="phase" obs spans, in stable (sorted-by-name) order.
+  // Phases may nest or run concurrently, so the totals are per-phase span
+  // time, not a partition of wall_ms.
+  std::vector<std::pair<std::string, double>> phase_wall_ms;
+  bool profiled = false;
+  // The profiled rep reproduced the measured checksum — tracing did not
+  // perturb the run. true when profiling is off; part of ok(), so a
+  // nondeterministic-under-tracing scenario fails every benchmark run.
+  bool profile_checksum_matched = true;
+  // Chrome trace-event JSON of the profiled rep (RunnerOptions::trace).
+  std::string trace_json;
+
+  bool ok() const {
+    return verified && checksum_stable && profile_checksum_matched && outcome.n > 0;
+  }
 };
 
 // Runs `s` at the given engine thread count (ignored by non-scalable

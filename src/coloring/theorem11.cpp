@@ -7,6 +7,7 @@
 #include "src/coloring/linial.h"
 #include "src/congest/bfs_tree.h"
 #include "src/graph/properties.h"
+#include "src/obs/obs.h"
 
 namespace dcolor {
 
@@ -19,12 +20,18 @@ int list_color_subset(ColoringTransport& t, InducedSubgraph& active, ListInstanc
   for (NodeId v = 0; v < t.graph().num_nodes(); ++v) remaining += active.contains(v) ? 1 : 0;
   int iterations = 0;
   while (remaining > 0) {
+    obs::Span iter_span(obs::kCatPhase, "theorem11.iteration");
     PartialColoringStats st =
         color_one_eighth(t, active, inst, colors, input_coloring, K, opts);
     if (stats != nullptr) stats->push_back(st);
     ++iterations;
     assert(st.newly_colored >= 1 && "Lemma 2.1 guarantees progress");
     remaining -= st.newly_colored;
+    if (iter_span.live()) {
+      iter_span.arg("iteration", iterations);
+      iter_span.arg("newly_colored", st.newly_colored);
+      iter_span.arg("remaining", remaining);
+    }
   }
   return iterations;
 }
@@ -49,11 +56,19 @@ Theorem11Result theorem11_run(ColoringTransport& t, ListInstance inst,
   InducedSubgraph active(g, std::vector<bool>(n, true));
 
   // Initial K = O(Delta^2 polylog) coloring via Linial (from ids).
-  LinialResult lin = t.linial(active, nullptr, 0);
+  LinialResult lin;
+  {
+    obs::Span linial_span(obs::kCatPhase, "theorem11.linial");
+    lin = t.linial(active, nullptr, 0);
+    linial_span.arg("num_colors", lin.num_colors);
+  }
   res.input_colors = lin.num_colors;
 
   // Aggregation tree (rooted at node 0; any designated leader works).
-  t.build_tree(0);
+  {
+    obs::Span tree_span(obs::kCatPhase, "theorem11.tree");
+    t.build_tree(0);
+  }
 
   res.iterations = list_color_subset(t, active, inst, res.colors, lin.coloring,
                                      lin.num_colors, opts, &res.per_iteration);

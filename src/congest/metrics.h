@@ -1,6 +1,7 @@
 // Round/message/bit accounting shared by all model simulators.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 
 namespace dcolor::congest {
@@ -15,8 +16,7 @@ struct Metrics {
     rounds += o.rounds;
     messages += o.messages;
     total_bits += o.total_bits;
-    max_message_bits = max_message_bits > o.max_message_bits ? max_message_bits
-                                                             : o.max_message_bits;
+    max_message_bits = std::max(max_message_bits, o.max_message_bits);
   }
 };
 

@@ -17,6 +17,7 @@ Network::Network(const Graph& g, int bandwidth_bits) : g_(&g) {
     slot_offset_[v + 1] = slot_offset_[v] + g.degree(v);
   }
   edge_stamp_.assign(static_cast<std::size_t>(slot_offset_[g.num_nodes()]), -1);
+  obs_mark_round_start();
 }
 
 void Network::send(NodeId u, NodeId v, std::uint64_t payload, int bits) {
@@ -54,6 +55,22 @@ void Network::advance_round() {
     staged_[v].clear();
   }
   ++metrics_.rounds;
+  if (obs::enabled()) {
+    const std::int64_t now = obs::now_ns();
+    if (obs_round_start_ns_ >= 0) {
+      obs::ArgList args;
+      args.add("round", metrics_.rounds);
+      args.add("messages", metrics_.messages - obs_messages_base_);
+      args.add("bits", metrics_.total_bits - obs_bits_base_);
+      obs::complete(obs::kCatNetwork, "network.round", obs_round_start_ns_,
+                    now - obs_round_start_ns_, args);
+    }
+    obs_round_start_ns_ = now;
+    obs_messages_base_ = metrics_.messages;
+    obs_bits_base_ = metrics_.total_bits;
+  } else {
+    obs_round_start_ns_ = -1;
+  }
 }
 
 void Network::tick(std::int64_t rounds) {

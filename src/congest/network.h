@@ -19,6 +19,7 @@
 
 #include "src/congest/metrics.h"
 #include "src/graph/graph.h"
+#include "src/obs/obs.h"
 
 namespace dcolor::congest {
 
@@ -67,9 +68,20 @@ class Network {
     // The duplicate-send stamps key on the round counter; clear them so a
     // reset cannot alias an old round with the new round 0.
     std::fill(edge_stamp_.begin(), edge_stamp_.end(), std::int64_t{-1});
+    obs_mark_round_start();
   }
 
  private:
+  // Tracing bookkeeping only — never read by the simulation. Each
+  // advance_round emits one "network.round" span covering the staging
+  // window since the previous round boundary (or construction/reset),
+  // carrying the round's message/bit deltas.
+  void obs_mark_round_start() {
+    obs_round_start_ns_ = obs::enabled() ? obs::now_ns() : -1;
+    obs_messages_base_ = metrics_.messages;
+    obs_bits_base_ = metrics_.total_bits;
+  }
+
   const Graph* g_;
   int bandwidth_;
   std::vector<std::vector<Incoming>> staged_;
@@ -79,6 +91,9 @@ class Network {
   std::vector<std::int64_t> edge_stamp_;
   std::vector<std::int64_t> slot_offset_;
   Metrics metrics_;
+  std::int64_t obs_round_start_ns_ = -1;
+  std::int64_t obs_messages_base_ = 0;
+  std::int64_t obs_bits_base_ = 0;
 };
 
 }  // namespace dcolor::congest

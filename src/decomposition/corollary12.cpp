@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "src/coloring/linial.h"
+#include "src/obs/obs.h"
 #include "src/util/bits.h"
 
 namespace dcolor {
@@ -90,14 +91,24 @@ Corollary12Result corollary12_run(const Graph& g, ListInstance inst,
   res.colors.assign(n, kUncolored);
   if (n == 0) return res;
 
-  res.decomposition = decompose(g);
+  {
+    obs::Span span(obs::kCatPhase, "corollary12.decompose");
+    res.decomposition = decompose(g);
+    span.arg("clusters", static_cast<std::int64_t>(res.decomposition.clusters.size()));
+    span.arg("classes", res.decomposition.num_colors);
+  }
   res.decomposition_rounds = res.decomposition.rounds_charged;
   const int kappa = std::max(1, res.decomposition.max_congestion(g));
 
   // Global input coloring (Linial over the whole graph).
   ColoringTransport& gt = transports.global();
   InducedSubgraph all(g, std::vector<bool>(n, true));
-  LinialResult lin = gt.linial(all, nullptr, 0);
+  LinialResult lin;
+  {
+    obs::Span span(obs::kCatPhase, "corollary12.linial");
+    lin = gt.linial(all, nullptr, 0);
+    span.arg("num_colors", lin.num_colors);
+  }
 
   const int cbits = std::max(inst.color_bits(), 1);
   std::vector<bool> uncolored(n, true);
@@ -124,16 +135,32 @@ Corollary12Result corollary12_run(const Graph& g, ListInstance inst,
     // on concurrent simulators. The per-class cost stays the max over
     // clusters times the congestion factor.
     std::vector<congest::Metrics> cluster_metrics;
-    transports.run_cluster_class(
-        batch,
-        [&](const Cluster& c, ColoringTransport& ct) {
-          std::vector<bool> memb(n, false);
-          for (NodeId v : c.members) memb[v] = true;
-          InducedSubgraph active(g, memb);
-          assert(inst.feasible_for(active));
-          list_color_subset(ct, active, inst, res.colors, lin.coloring, lin.num_colors, opts);
-        },
-        &cluster_metrics);
+    {
+      // Span scoped to the cluster runs only: the pruning exchange below
+      // gets its own phase span, and two live cat="phase" spans on one
+      // thread would double-charge the breakdown.
+      obs::Span class_span(obs::kCatPhase, "corollary12.class");
+      class_span.arg("class", k);
+      class_span.arg("clusters", static_cast<std::int64_t>(batch.size()));
+      transports.run_cluster_class(
+          batch,
+          [&](const Cluster& c, ColoringTransport& ct) {
+            // kCatCluster (not kCatPhase): cluster spans nest inside the
+            // class span and run concurrently on worker threads — counting
+            // them in the phase breakdown would double-charge the class.
+            obs::Span cluster_span(obs::kCatCluster, "corollary12.cluster");
+            cluster_span.arg("class", c.color);
+            cluster_span.arg("root", c.root);
+            cluster_span.arg("members", static_cast<std::int64_t>(c.members.size()));
+            std::vector<bool> memb(n, false);
+            for (NodeId v : c.members) memb[v] = true;
+            InducedSubgraph active(g, memb);
+            assert(inst.feasible_for(active));
+            list_color_subset(ct, active, inst, res.colors, lin.coloring, lin.num_colors,
+                              opts);
+          },
+          &cluster_metrics);
+    }
 
     std::int64_t max_cluster_rounds = 0;
     std::vector<NodeId> class_nodes;
@@ -151,6 +178,9 @@ Corollary12Result corollary12_run(const Graph& g, ListInstance inst,
     // Cross-cluster pruning (one global round): freshly colored nodes
     // announce their color to every neighbor; uncolored neighbors outside
     // the cluster drop it from their lists.
+    obs::Span prune_span(obs::kCatPhase, "corollary12.prune");
+    prune_span.arg("class", k);
+    prune_span.arg("colored", static_cast<std::int64_t>(class_nodes.size()));
     for (NodeId v : class_nodes) {
       uncolored[v] = false;
       senders[v] = 1;

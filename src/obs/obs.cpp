@@ -1,0 +1,287 @@
+#include "src/obs/obs.h"
+
+#if DCOLOR_OBS_ENABLED
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+namespace dcolor::obs {
+namespace {
+
+// The active session, published with release so a thread that observes
+// the pointer also observes the session's initialized fields. Writers
+// re-load it per event; the quiesce contract (no instrumented work in
+// flight across stop()/destruction) is what makes that load safe.
+std::atomic<TraceSession*> g_session{nullptr};
+// Bumped on every session construction; lets a thread's cached buffer
+// pointer from a previous session be recognized as stale.
+std::atomic<std::uint64_t> g_epoch{0};
+
+struct CachedBuffer {
+  std::uint64_t epoch = 0;
+  internal::ThreadBuffer* buffer = nullptr;
+};
+thread_local CachedBuffer t_cached;
+
+}  // namespace
+
+namespace internal {
+
+struct Event {
+  const char* cat;
+  const char* name;
+  char ph;  // 'X' complete span, 'C' counter sample
+  std::int64_t ts_ns;
+  std::int64_t dur_ns;  // 'C': the counter value
+  ArgList args;
+};
+
+// Single-writer per-thread stat accumulator keyed by (cat, name)
+// pointer identity; duplicates from distinct literals with equal text
+// are merged by string at aggregation time.
+struct StatSlot {
+  const char* cat = nullptr;
+  const char* name = nullptr;
+  std::int64_t count = 0;
+  std::int64_t total = 0;
+  std::int64_t max = 0;
+};
+
+struct ThreadBuffer {
+  int tid = 0;
+  std::vector<Event> events;            // preallocated to capacity
+  std::atomic<std::size_t> head{0};     // writer: release; reader: acquire
+  std::atomic<std::int64_t> dropped{0};
+  static constexpr int kStatSlots = 128;
+  StatSlot stats[kStatSlots];
+  int stats_used = 0;
+
+  StatSlot* stat_slot(const char* cat, const char* name) {
+    for (int i = 0; i < stats_used; ++i) {
+      if (stats[i].cat == cat && stats[i].name == name) return &stats[i];
+    }
+    if (stats_used == kStatSlots) return nullptr;  // silently uncounted past 128 names
+    StatSlot& s = stats[stats_used++];
+    s.cat = cat;
+    s.name = name;
+    return &s;
+  }
+
+  void record(const char* cat, const char* name, char ph, std::int64_t ts_ns,
+              std::int64_t dur_ns, const ArgList& args, bool want_event) {
+    // Stats first: they stay complete even when the event ring fills.
+    if (StatSlot* s = stat_slot(cat, name)) {
+      ++s->count;
+      s->total += dur_ns;
+      s->max = std::max(s->max, dur_ns);
+    }
+    if (!want_event) return;
+    std::size_t h = head.load(std::memory_order_relaxed);
+    if (h == events.size()) {
+      dropped.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    events[h] = Event{cat, name, ph, ts_ns, dur_ns, args};
+    head.store(h + 1, std::memory_order_release);
+  }
+};
+
+}  // namespace internal
+
+struct TraceSession::Impl {
+  std::mutex mu;
+  std::vector<std::unique_ptr<internal::ThreadBuffer>> buffers;
+};
+
+std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+bool enabled() { return g_session.load(std::memory_order_relaxed) != nullptr; }
+
+void complete(const char* cat, const char* name, std::int64_t start_ns, std::int64_t dur_ns,
+              const ArgList& args) {
+  TraceSession* s = g_session.load(std::memory_order_acquire);
+  if (!s) return;
+  s->thread_buffer()->record(cat, name, 'X', start_ns, dur_ns, args, s->events_);
+}
+
+void counter(const char* cat, const char* name, std::int64_t value) {
+  TraceSession* s = g_session.load(std::memory_order_acquire);
+  if (!s) return;
+  s->thread_buffer()->record(cat, name, 'C', now_ns(), value, ArgList{}, s->events_);
+}
+
+TraceSession::TraceSession(Options opts)
+    : epoch_(g_epoch.fetch_add(1, std::memory_order_relaxed) + 1),
+      capacity_(opts.buffer_capacity),
+      events_(opts.events),
+      start_ns_(now_ns()),
+      impl_(new Impl) {
+  TraceSession* expected = nullptr;
+  if (!g_session.compare_exchange_strong(expected, this, std::memory_order_release,
+                                         std::memory_order_relaxed)) {
+    delete impl_;
+    throw std::logic_error("obs::TraceSession: a session is already active");
+  }
+}
+
+TraceSession::~TraceSession() {
+  stop();
+  delete impl_;
+}
+
+internal::ThreadBuffer* TraceSession::thread_buffer() {
+  if (t_cached.epoch == epoch_) return t_cached.buffer;
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto buf = std::make_unique<internal::ThreadBuffer>();
+  buf->tid = static_cast<int>(impl_->buffers.size());
+  buf->events.resize(events_ ? capacity_ : 0);
+  t_cached = {epoch_, buf.get()};
+  impl_->buffers.push_back(std::move(buf));
+  return t_cached.buffer;
+}
+
+void TraceSession::stop() {
+  if (stopped_) return;
+  TraceSession* expected = this;
+  g_session.compare_exchange_strong(expected, nullptr, std::memory_order_acq_rel,
+                                    std::memory_order_relaxed);
+  stopped_ = true;
+  aggregate();
+}
+
+void TraceSession::aggregate() {
+  std::map<std::pair<std::string, std::string>, StatLine> merged;
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  dropped_ = 0;
+  for (const auto& buf : impl_->buffers) {
+    // Acquire pairs with the writer's release store so every event below
+    // the head index is fully visible.
+    (void)buf->head.load(std::memory_order_acquire);
+    dropped_ += buf->dropped.load(std::memory_order_relaxed);
+    for (int i = 0; i < buf->stats_used; ++i) {
+      const internal::StatSlot& s = buf->stats[i];
+      StatLine& line = merged[{s.cat, s.name}];
+      line.cat = s.cat;
+      line.name = s.name;
+      line.count += s.count;
+      line.total += s.total;
+      line.max = std::max(line.max, s.max);
+    }
+  }
+  stats_.clear();
+  for (auto& [key, line] : merged) stats_.push_back(std::move(line));
+}
+
+const std::vector<StatLine>& TraceSession::stats() {
+  stop();
+  return stats_;
+}
+
+std::int64_t TraceSession::dropped_events() {
+  stop();
+  return dropped_;
+}
+
+namespace {
+
+void append_us(std::string& out, std::int64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64 ".%03d", ns / 1000,
+                static_cast<int>(ns % 1000 < 0 ? -(ns % 1000) : ns % 1000));
+  out += buf;
+}
+
+void append_int(std::string& out, std::int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string TraceSession::chrome_trace_json() {
+  stop();
+  std::string out;
+  out.reserve(1 << 16);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  for (const auto& buf : impl_->buffers) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"ph\":\"M\",\"pid\":1,\"tid\":";
+    append_int(out, buf->tid);
+    out += ",\"name\":\"thread_name\",\"args\":{\"name\":\"dcolor-t";
+    append_int(out, buf->tid);
+    out += "\"}}";
+    const std::size_t head = buf->head.load(std::memory_order_acquire);
+    for (std::size_t i = 0; i < head; ++i) {
+      const internal::Event& e = buf->events[i];
+      out += ",{\"ph\":\"";
+      out += e.ph;
+      out += "\",\"pid\":1,\"tid\":";
+      append_int(out, buf->tid);
+      out += ",\"ts\":";
+      append_us(out, e.ts_ns - start_ns_);
+      if (e.ph == 'X') {
+        out += ",\"dur\":";
+        append_us(out, e.dur_ns);
+      }
+      out += ",\"cat\":\"";
+      out += e.cat;
+      out += "\",\"name\":\"";
+      out += e.name;
+      out += "\",\"args\":{";
+      if (e.ph == 'C') {
+        out += "\"value\":";
+        append_int(out, e.dur_ns);
+      } else {
+        for (int a = 0; a < e.args.count; ++a) {
+          if (a) out += ',';
+          out += '"';
+          out += e.args.keys[a];
+          out += "\":";
+          append_int(out, e.args.values[a]);
+        }
+      }
+      out += "}}";
+    }
+  }
+  out += "],\"dcolorStats\":{";
+  for (std::size_t i = 0; i < stats_.size(); ++i) {
+    const StatLine& s = stats_[i];
+    if (i) out += ',';
+    out += '"';
+    out += s.cat;
+    out += '/';
+    out += s.name;
+    out += "\":{\"count\":";
+    append_int(out, s.count);
+    out += ",\"total_ns\":";
+    append_int(out, s.total);
+    out += ",\"max_ns\":";
+    append_int(out, s.max);
+    out += '}';
+  }
+  out += "},\"dcolorDroppedEvents\":";
+  append_int(out, dropped_);
+  out += '}';
+  return out;
+}
+
+}  // namespace dcolor::obs
+
+#endif  // DCOLOR_OBS_ENABLED

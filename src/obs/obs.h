@@ -1,0 +1,230 @@
+// Observability layer: RAII phase spans and counters recorded into
+// lock-free per-thread buffers, exported as Chrome trace-event JSON
+// (Perfetto-loadable) plus an aggregated per-name stats block.
+//
+// Determinism guarantee: instrumentation only READS the steady clock and
+// WRITES into obs-owned per-thread buffers — it never touches algorithm
+// state, never synchronizes algorithm threads, and never branches on
+// anything an algorithm could observe. Results, Metrics and checksums
+// are therefore bit-identical with tracing on or off at every thread
+// count (tests/obs_test.cpp enforces it), which is what makes traces
+// trustworthy evidence for hot-path work.
+//
+// Cost model: with no TraceSession active every probe is one relaxed
+// atomic load (Span construction) or nothing; compiled with
+// -DDCOLOR_OBS_ENABLED=0 the whole API collapses to empty inlines and
+// the probes vanish entirely. With a session active, a span costs two
+// steady_clock reads plus one write into the calling thread's own
+// buffer — no locks, no cross-thread contention (threads register their
+// buffer once per session under a mutex, then write privately).
+//
+// Concurrency contract: event/stat writes are per-thread (single
+// writer); TraceSession::stop() publishes/reads buffers with
+// acquire/release on each buffer's head index. The caller must quiesce
+// instrumented work before stop()/destruction — in this repo the
+// benchkit runner owns the session and only stops it after the
+// scenario's execution (including every ThreadPool barrier) returned.
+#pragma once
+
+#ifndef DCOLOR_OBS_ENABLED
+#define DCOLOR_OBS_ENABLED 1
+#endif
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dcolor::obs {
+
+// Category tags shared by the instrumented layers. Spans with category
+// kCatPhase form the non-overlapping (per thread) algorithm-phase
+// decomposition benchkit turns into the per-record `phase_wall_ms`
+// breakdown; the other categories are timeline detail.
+inline constexpr const char* kCatPhase = "phase";
+inline constexpr const char* kCatEngine = "engine";
+inline constexpr const char* kCatNetwork = "network";
+inline constexpr const char* kCatPool = "pool";
+inline constexpr const char* kCatCluster = "cluster";
+
+// Up to four small named integer arguments on one event.
+struct ArgList {
+  const char* keys[4] = {nullptr, nullptr, nullptr, nullptr};
+  std::int64_t values[4] = {0, 0, 0, 0};
+  int count = 0;
+
+  void add(const char* key, std::int64_t value) {
+    if (count < 4) {
+      keys[count] = key;
+      values[count] = value;
+      ++count;
+    }
+  }
+};
+
+// One aggregated line of the stats block: every span/counter with this
+// (category, name), merged across threads. For spans `total` and `max`
+// are nanoseconds; for counters they aggregate the recorded values.
+struct StatLine {
+  std::string cat;
+  std::string name;
+  std::int64_t count = 0;
+  std::int64_t total = 0;
+  std::int64_t max = 0;
+};
+
+#if DCOLOR_OBS_ENABLED
+
+// Monotonic nanoseconds (std::chrono::steady_clock).
+std::int64_t now_ns();
+
+// True iff a TraceSession is currently recording. One relaxed load —
+// cheap enough for per-round probes; hot paths may still hoist it.
+bool enabled();
+
+// Record a complete ('X') event with an explicit start/duration, on the
+// calling thread's track. No-op without an active session.
+void complete(const char* cat, const char* name, std::int64_t start_ns, std::int64_t dur_ns,
+              const ArgList& args = {});
+
+// Record a counter ('C') sample on the calling thread's track.
+void counter(const char* cat, const char* name, std::int64_t value);
+
+// RAII span: records a complete event covering construction→destruction
+// on the calling thread's track. `cat`/`name`/arg keys must be string
+// literals (or otherwise outlive the session). Arguments may be attached
+// any time before destruction, so end-of-phase quantities (message
+// deltas, result sizes) fit naturally.
+class Span {
+ public:
+  Span(const char* cat, const char* name) : cat_(cat), name_(name), live_(enabled()) {
+    if (live_) start_ns_ = now_ns();
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span() {
+    if (live_) complete(cat_, name_, start_ns_, now_ns() - start_ns_, args_);
+  }
+
+  void arg(const char* key, std::int64_t value) {
+    if (live_) args_.add(key, value);
+  }
+  bool live() const { return live_; }
+
+ private:
+  const char* cat_;
+  const char* name_;
+  bool live_;
+  std::int64_t start_ns_ = 0;
+  ArgList args_;
+};
+
+namespace internal {
+struct ThreadBuffer;
+}  // namespace internal
+
+struct TraceOptions {
+  // Per-thread event-ring capacity. When a thread's ring fills, newer
+  // events are dropped (and counted in dropped_events()); the stats
+  // block is accumulated separately at write time and stays complete
+  // regardless of drops.
+  std::size_t buffer_capacity = 1 << 16;
+  // false = stats-only: spans aggregate into the stats block but no
+  // per-event storage is kept (the benchkit profiled rep without
+  // --trace). chrome_trace_json() then yields an empty traceEvents
+  // array with the stats block attached.
+  bool events = true;
+};
+
+// One recording window. At most one session may be active per process
+// (a second construction throws std::logic_error). Threads register a
+// private buffer on their first event; stop() (or destruction) ends
+// recording and aggregates.
+class TraceSession {
+ public:
+  using Options = TraceOptions;
+
+  explicit TraceSession(Options opts = {});
+  ~TraceSession();
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  // Ends recording (idempotent). All instrumented work must have been
+  // joined by the caller; after stop() the accessors below are valid.
+  void stop();
+
+  // Aggregated stats, merged across threads, sorted by (cat, name).
+  const std::vector<StatLine>& stats();
+
+  // The Chrome trace-event JSON object: {"displayTimeUnit":"ms",
+  // "traceEvents":[...],"dcolorStats":{...},"dcolorDroppedEvents":N}.
+  // Timestamps are microseconds relative to session start; tids are
+  // small integers assigned per thread at first event (0, 1, 2, ... in
+  // registration order), each with a thread_name metadata event.
+  std::string chrome_trace_json();
+
+  // Events dropped across all threads because a ring filled.
+  std::int64_t dropped_events();
+
+  std::int64_t start_ns() const { return start_ns_; }
+
+ private:
+  friend void complete(const char*, const char*, std::int64_t, std::int64_t, const ArgList&);
+  friend void counter(const char*, const char*, std::int64_t);
+
+  internal::ThreadBuffer* thread_buffer();
+  void aggregate();
+
+  std::uint64_t epoch_;
+  std::size_t capacity_;
+  bool events_;
+  std::int64_t start_ns_;
+  bool stopped_ = false;
+  // Pointer-hidden state so this header stays light.
+  struct Impl;
+  Impl* impl_;
+  std::vector<StatLine> stats_;
+  std::int64_t dropped_ = 0;
+};
+
+#else  // !DCOLOR_OBS_ENABLED — the whole API collapses to no-ops.
+
+inline std::int64_t now_ns() { return 0; }
+inline bool enabled() { return false; }
+inline void complete(const char*, const char*, std::int64_t, std::int64_t,
+                     const ArgList& = {}) {}
+inline void counter(const char*, const char*, std::int64_t) {}
+
+class Span {
+ public:
+  Span(const char*, const char*) {}
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  void arg(const char*, std::int64_t) {}
+  bool live() const { return false; }
+};
+
+struct TraceOptions {
+  std::size_t buffer_capacity = 0;
+  bool events = true;
+};
+
+class TraceSession {
+ public:
+  using Options = TraceOptions;
+  explicit TraceSession(Options = {}) {}
+  void stop() {}
+  const std::vector<StatLine>& stats() { return stats_; }
+  std::string chrome_trace_json() {
+    return "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[],\"dcolorStats\":{},"
+           "\"dcolorDroppedEvents\":0}";
+  }
+  std::int64_t dropped_events() { return 0; }
+  std::int64_t start_ns() const { return 0; }
+
+ private:
+  std::vector<StatLine> stats_;
+};
+
+#endif  // DCOLOR_OBS_ENABLED
+
+}  // namespace dcolor::obs

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "src/obs/obs.h"
 #include "src/util/bits.h"
 
 namespace dcolor::runtime {
@@ -151,13 +152,31 @@ void ParallelEngine::run_phase(const std::vector<NodeId>* roster, F&& per_node) 
 }
 
 std::int64_t ParallelEngine::run(NodeProgram& program) {
+  obs::Span run_span(obs::kCatEngine, "engine.run");
+  run_span.arg("nodes", g_->num_nodes());
+  run_span.arg("threads", pool_.num_threads());
   // Isolate this run's stamp space: a prior run (even one that threw)
   // may have left stamps up to epoch_+1 in the buffers, and advancing by
   // two keeps them strictly behind every stamp this run can read.
   epoch_ += 2;
   std::int64_t before_phase = metrics_.messages;
-  run_phase(program.roster(0), [&program](NodeId v, Outbox& out) { program.init(v, out); });
-  std::int64_t last_phase_messages = metrics_.messages - before_phase;
+  std::int64_t before_bits = metrics_.total_bits;
+  std::int64_t last_phase_messages;
+  {
+    const std::vector<NodeId>* roster = program.roster(0);
+    obs::Span round_span(obs::kCatEngine, "engine.round");
+    if (round_span.live()) {
+      round_span.arg("round", 0);
+      round_span.arg("roster",
+                     roster ? static_cast<std::int64_t>(roster->size()) : g_->num_nodes());
+    }
+    run_phase(roster, [&program](NodeId v, Outbox& out) { program.init(v, out); });
+    last_phase_messages = metrics_.messages - before_phase;
+    if (round_span.live()) {
+      round_span.arg("messages", last_phase_messages);
+      round_span.arg("bits", metrics_.total_bits - before_bits);
+    }
+  }
   std::int64_t rounds = 0;
   while (!program.done(rounds)) {
     cur_ ^= 1;  // deliver: staged slots carry stamp epoch_+1 == new epoch_
@@ -166,13 +185,26 @@ std::int64_t ParallelEngine::run(NodeProgram& program) {
     ++rounds;
     const std::int64_t r = rounds;
     before_phase = metrics_.messages;
-    run_phase(program.roster(r), [&, r](NodeId v, Outbox& out) {
+    before_bits = metrics_.total_bits;
+    const std::vector<NodeId>* roster = program.roster(r);
+    obs::Span round_span(obs::kCatEngine, "engine.round");
+    if (round_span.live()) {
+      round_span.arg("round", r);
+      round_span.arg("roster",
+                     roster ? static_cast<std::int64_t>(roster->size()) : g_->num_nodes());
+    }
+    run_phase(roster, [&, r](NodeId v, Outbox& out) {
       const Inbox in(delivered() + offset_[v], g_->neighbors(v).data(), g_->degree(v),
                      epoch_);
       program.on_round(r, v, in, out);
     });
     last_phase_messages = metrics_.messages - before_phase;
+    if (round_span.live()) {
+      round_span.arg("messages", last_phase_messages);
+      round_span.arg("bits", metrics_.total_bits - before_bits);
+    }
   }
+  run_span.arg("rounds", rounds);
   // Sends staged in the phase after which done() fired would be charged
   // but never delivered — surface the program bug instead of silently
   // dropping traffic.

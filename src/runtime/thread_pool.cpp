@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "src/obs/obs.h"
+
 namespace dcolor::runtime {
 
 ThreadPool::ThreadPool(int num_threads) : num_threads_(num_threads) {
@@ -49,6 +51,12 @@ void ThreadPool::run(const std::function<void(int)>& job) {
 void ThreadPool::run_tasks(std::size_t count,
                            const std::function<void(std::size_t, int)>& task) {
   if (count == 0) return;
+  obs::Span dispatch_span(obs::kCatPool, "pool.run_tasks");
+  dispatch_span.arg("tasks", static_cast<std::int64_t>(count));
+  dispatch_span.arg("threads", num_threads_);
+  // Decided once on the caller so every worker observes the same value —
+  // the per-worker accounting below must not flip mid-dispatch.
+  const bool traced = dispatch_span.live();
   std::atomic<std::size_t> cursor{0};
   // One failure slot per worker: a worker records its first throwing task
   // and keeps draining the queue, so the barrier always completes and the
@@ -60,7 +68,10 @@ void ThreadPool::run_tasks(std::size_t count,
   std::vector<Failure> failures(static_cast<std::size_t>(num_threads_));
   run([&](int worker) {
     Failure& f = failures[static_cast<std::size_t>(worker)];
+    std::int64_t executed = 0, steals = 0, busy_ns = 0;
+    const std::int64_t enter_ns = traced ? obs::now_ns() : 0;
     for (std::size_t i; (i = cursor.fetch_add(1, std::memory_order_relaxed)) < count;) {
+      const std::int64_t task_ns = traced ? obs::now_ns() : 0;
       try {
         task(i, worker);
       } catch (...) {
@@ -69,6 +80,24 @@ void ThreadPool::run_tasks(std::size_t count,
           f.error = std::current_exception();
         }
       }
+      if (traced) {
+        busy_ns += obs::now_ns() - task_ns;
+        ++executed;
+        // A "steal" is a task outside the worker's equal contiguous
+        // static-partition range — work the dynamic cursor moved across
+        // workers relative to a static split.
+        if (static_cast<int>(i * static_cast<std::size_t>(num_threads_) / count) != worker) {
+          ++steals;
+        }
+      }
+    }
+    if (traced) {
+      // Emitted from the worker thread so the samples land on its track.
+      obs::counter(obs::kCatPool, "pool.worker_tasks", executed);
+      obs::counter(obs::kCatPool, "pool.worker_steals", steals);
+      obs::counter(obs::kCatPool, "pool.worker_busy_ns", busy_ns);
+      obs::counter(obs::kCatPool, "pool.worker_idle_ns",
+                   (obs::now_ns() - enter_ns) - busy_ns);
     }
   });
   const Failure* worst = nullptr;

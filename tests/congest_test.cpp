@@ -10,7 +10,40 @@ namespace {
 
 using congest::BfsTree;
 using congest::CongestViolation;
+using congest::Metrics;
 using congest::Network;
+
+TEST(MetricsTest, MergeSumsCountsAndMaxesMessageBits) {
+  Metrics a;
+  a.rounds = 3;
+  a.messages = 10;
+  a.total_bits = 80;
+  a.max_message_bits = 8;
+  Metrics b;
+  b.rounds = 2;
+  b.messages = 5;
+  b.total_bits = 100;
+  b.max_message_bits = 20;
+
+  a.merge(b);
+  EXPECT_EQ(a.rounds, 5);
+  EXPECT_EQ(a.messages, 15);
+  EXPECT_EQ(a.total_bits, 180);
+  EXPECT_EQ(a.max_message_bits, 20);  // max, not sum
+
+  // Merging a smaller max must keep the larger one, and merging a
+  // default-constructed Metrics is the identity.
+  Metrics small;
+  small.max_message_bits = 4;
+  a.merge(small);
+  EXPECT_EQ(a.max_message_bits, 20);
+  const Metrics before = a;
+  a.merge(Metrics{});
+  EXPECT_EQ(a.rounds, before.rounds);
+  EXPECT_EQ(a.messages, before.messages);
+  EXPECT_EQ(a.total_bits, before.total_bits);
+  EXPECT_EQ(a.max_message_bits, before.max_message_bits);
+}
 
 TEST(Network, DeliversAfterRound) {
   auto g = make_path(3);

@@ -1,0 +1,378 @@
+// The observability gate, in three parts:
+//
+//  1. obs core semantics — session lifecycle (one active session per
+//     process, sequential sessions fine), span/counter aggregation into
+//     the stats block, ring overflow dropping events while stats stay
+//     complete, stats-only mode, and probe behavior with no session.
+//  2. Trace well-formedness — chrome_trace_json() of a real engine
+//     workload parses as JSON, carries the expected top-level keys,
+//     contiguous small tids each with a thread_name metadata event, and
+//     per-thread RAII spans that properly nest (network.round events use
+//     explicit timestamps spanning transport rounds and are exempt — a
+//     phase span may legitimately start mid-round and end mid-round).
+//  3. The determinism gate — the reason traces are trustworthy: with the
+//     same seed, colors, iteration counts, round accounting and Metrics
+//     are bit-identical with tracing on or off, on the Network reference
+//     and on the engine at 1 and N threads, for both the Theorem 1.1 and
+//     Corollary 1.2 pipelines.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/benchkit/json.h"
+#include "src/coloring/theorem11.h"
+#include "src/decomposition/corollary12.h"
+#include "src/graph/generators.h"
+#include "src/obs/obs.h"
+#include "src/runtime/corollary12_program.h"
+#include "src/runtime/theorem11_program.h"
+#include "tests/test_support.h"
+
+namespace dcolor {
+namespace {
+
+using benchkit::JsonValue;
+using benchkit::json_parse;
+
+const obs::StatLine* find_stat(const std::vector<obs::StatLine>& stats, const std::string& cat,
+                               const std::string& name) {
+  for (const obs::StatLine& s : stats) {
+    if (s.cat == cat && s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+void expect_metrics_eq(const congest::Metrics& a, const congest::Metrics& b,
+                       const std::string& where) {
+  EXPECT_EQ(a.rounds, b.rounds) << where;
+  EXPECT_EQ(a.messages, b.messages) << where;
+  EXPECT_EQ(a.total_bits, b.total_bits) << where;
+  EXPECT_EQ(a.max_message_bits, b.max_message_bits) << where;
+}
+
+// ---------------------------------------------------------------------------
+// Part 1: obs core semantics.
+
+TEST(ObsCore, EnabledTracksSessionLifetimeAndSequentialSessionsWork) {
+  EXPECT_FALSE(obs::enabled());
+  {
+    obs::TraceSession session;
+    EXPECT_TRUE(obs::enabled());
+    session.stop();
+    EXPECT_FALSE(obs::enabled());
+  }
+  // A finished session releases the process slot: a fresh one records.
+  obs::TraceSession again;
+  EXPECT_TRUE(obs::enabled());
+  { obs::Span sp(obs::kCatPhase, "core.again"); }
+  again.stop();
+  const obs::StatLine* line = find_stat(again.stats(), "phase", "core.again");
+  ASSERT_NE(line, nullptr);
+  EXPECT_EQ(line->count, 1);
+}
+
+TEST(ObsCore, SecondConcurrentSessionThrows) {
+  obs::TraceSession session;
+  EXPECT_THROW(obs::TraceSession second, std::logic_error);
+  // The failed construction must not have clobbered the live session.
+  EXPECT_TRUE(obs::enabled());
+  { obs::Span sp(obs::kCatPhase, "core.survivor"); }
+  session.stop();
+  EXPECT_NE(find_stat(session.stats(), "phase", "core.survivor"), nullptr);
+}
+
+TEST(ObsCore, SpansAndCountersAggregateIntoSortedStats) {
+  obs::TraceSession session;
+  {
+    obs::Span sp(obs::kCatPhase, "core.span");
+    sp.arg("k", 7);
+  }
+  { obs::Span sp(obs::kCatPhase, "core.span"); }
+  obs::counter(obs::kCatPool, "core.counter", 5);
+  obs::counter(obs::kCatPool, "core.counter", 9);
+  session.stop();
+
+  const std::vector<obs::StatLine>& stats = session.stats();
+  const obs::StatLine* span = find_stat(stats, "phase", "core.span");
+  ASSERT_NE(span, nullptr);
+  EXPECT_EQ(span->count, 2);
+  EXPECT_GT(span->total, 0);
+  EXPECT_GE(span->total, span->max);
+
+  const obs::StatLine* ctr = find_stat(stats, "pool", "core.counter");
+  ASSERT_NE(ctr, nullptr);
+  EXPECT_EQ(ctr->count, 2);
+  EXPECT_EQ(ctr->total, 14);
+  EXPECT_EQ(ctr->max, 9);
+
+  // Sorted by (cat, name): the contract the phase_wall_ms extraction and
+  // the dcolorStats block rely on for stable output.
+  for (std::size_t i = 1; i < stats.size(); ++i) {
+    EXPECT_LE(std::make_pair(stats[i - 1].cat, stats[i - 1].name),
+              std::make_pair(stats[i].cat, stats[i].name));
+  }
+}
+
+TEST(ObsCore, RingOverflowDropsEventsButStatsStayComplete) {
+  obs::TraceSession::Options opts;
+  opts.buffer_capacity = 4;
+  obs::TraceSession session(opts);
+  for (int i = 0; i < 100; ++i) {
+    obs::Span sp(obs::kCatPhase, "core.overflow");
+  }
+  session.stop();
+
+  EXPECT_EQ(session.dropped_events(), 96);
+  const obs::StatLine* line = find_stat(session.stats(), "phase", "core.overflow");
+  ASSERT_NE(line, nullptr);
+  EXPECT_EQ(line->count, 100);  // drops never lose stats
+
+  JsonValue v;
+  std::string err;
+  ASSERT_TRUE(json_parse(session.chrome_trace_json(), &v, &err)) << err;
+  EXPECT_EQ(v.number_or("dcolorDroppedEvents", -1), 96.0);
+  const JsonValue* events = v.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  int complete_events = 0;
+  for (const JsonValue& e : events->array) {
+    if (e.string_or("ph", "") == "X") ++complete_events;
+  }
+  EXPECT_EQ(complete_events, 4);
+}
+
+TEST(ObsCore, StatsOnlyModeKeepsStatsWithoutEventStorage) {
+  obs::TraceSession::Options opts;
+  opts.events = false;
+  obs::TraceSession session(opts);
+  for (int i = 0; i < 50; ++i) {
+    obs::Span sp(obs::kCatPhase, "core.statsonly");
+  }
+  session.stop();
+
+  EXPECT_EQ(session.dropped_events(), 0);  // nothing dropped: never stored
+  const obs::StatLine* line = find_stat(session.stats(), "phase", "core.statsonly");
+  ASSERT_NE(line, nullptr);
+  EXPECT_EQ(line->count, 50);
+
+  JsonValue v;
+  std::string err;
+  ASSERT_TRUE(json_parse(session.chrome_trace_json(), &v, &err)) << err;
+  const JsonValue* events = v.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  for (const JsonValue& e : events->array) {
+    EXPECT_NE(e.string_or("ph", ""), "X");
+    EXPECT_NE(e.string_or("ph", ""), "C");
+  }
+  const JsonValue* stats_obj = v.find("dcolorStats");
+  ASSERT_NE(stats_obj, nullptr);
+  EXPECT_FALSE(stats_obj->object.empty());
+}
+
+TEST(ObsCore, ProbesWithoutSessionAreNoOps) {
+  ASSERT_FALSE(obs::enabled());
+  obs::Span sp(obs::kCatPhase, "core.nosession");
+  EXPECT_FALSE(sp.live());
+  sp.arg("k", 1);
+  obs::complete(obs::kCatPhase, "core.nosession", 0, 1);
+  obs::counter(obs::kCatPool, "core.nosession", 1);
+  // A later session must not see any of it.
+  obs::TraceSession session;
+  session.stop();
+  EXPECT_EQ(find_stat(session.stats(), "phase", "core.nosession"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Part 2: trace well-formedness on a real engine workload.
+
+struct TraceEventView {
+  std::string ph;
+  std::string cat;
+  std::string name;
+  double tid = -1;
+  double ts = 0;
+  double dur = 0;
+};
+
+TEST(ObsTrace, ChromeTraceIsWellFormedWithStableTidsAndNestedSpans) {
+  const Graph g = make_clustered(4, 10, 0.5, 8, test::kTestSeed + 2);
+  const ListInstance inst = ListInstance::delta_plus_one(g);
+
+  obs::TraceSession session;
+  const Corollary12Result result = runtime::corollary12_coloring(g, inst, 3);
+  session.stop();
+  ASSERT_TRUE(inst.valid_solution(result.colors));
+
+  JsonValue v;
+  std::string err;
+  const std::string json = session.chrome_trace_json();
+  ASSERT_TRUE(json_parse(json, &v, &err)) << err;
+
+  // Top-level shape.
+  EXPECT_EQ(v.string_or("displayTimeUnit", ""), "ms");
+  EXPECT_EQ(v.number_or("dcolorDroppedEvents", -1), 0.0);
+  const JsonValue* stats_obj = v.find("dcolorStats");
+  ASSERT_NE(stats_obj, nullptr);
+  ASSERT_EQ(stats_obj->kind, JsonValue::Kind::kObject);
+  EXPECT_FALSE(stats_obj->object.empty());
+  const JsonValue* events = v.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->kind, JsonValue::Kind::kArray);
+  ASSERT_FALSE(events->array.empty());
+
+  std::set<int> tids;
+  std::map<int, std::string> thread_names;
+  std::map<int, std::vector<TraceEventView>> complete_by_tid;
+  std::set<std::string> span_names;
+  for (const JsonValue& e : events->array) {
+    TraceEventView ev;
+    ev.ph = e.string_or("ph", "");
+    ev.cat = e.string_or("cat", "");
+    ev.name = e.string_or("name", "");
+    ev.tid = e.number_or("tid", -1);
+    ev.ts = e.number_or("ts", -1);
+    ev.dur = e.number_or("dur", -1);
+    ASSERT_TRUE(ev.ph == "M" || ev.ph == "X" || ev.ph == "C") << ev.ph;
+    ASSERT_GE(ev.tid, 0.0);
+    const int tid = static_cast<int>(ev.tid);
+    tids.insert(tid);
+    if (ev.ph == "M") {
+      EXPECT_EQ(ev.name, "thread_name");
+      const JsonValue* args = e.find("args");
+      ASSERT_NE(args, nullptr);
+      EXPECT_TRUE(thread_names.emplace(tid, args->string_or("name", "")).second)
+          << "duplicate thread_name metadata for tid " << tid;
+    } else if (ev.ph == "X") {
+      EXPECT_GE(ev.ts, 0.0);
+      EXPECT_GE(ev.dur, 0.0);
+      EXPECT_FALSE(ev.cat.empty());
+      span_names.insert(ev.name);
+      complete_by_tid[tid].push_back(ev);
+    }
+  }
+
+  // tids are small contiguous integers starting at 0, each with exactly
+  // one thread_name metadata event of the canonical form.
+  ASSERT_FALSE(tids.empty());
+  int expect_tid = 0;
+  for (int tid : tids) {
+    EXPECT_EQ(tid, expect_tid++);
+    auto it = thread_names.find(tid);
+    ASSERT_NE(it, thread_names.end()) << "tid " << tid << " lacks thread_name metadata";
+    EXPECT_EQ(it->second, "dcolor-t" + std::to_string(tid));
+  }
+  // threads=3 puts the caller plus both pool workers on the trace (the
+  // per-worker counters guarantee each registers a buffer).
+  EXPECT_GE(static_cast<int>(tids.size()), 3);
+
+  // The instrumented layers all reported in.
+  EXPECT_TRUE(span_names.count("engine.round"));
+  EXPECT_TRUE(span_names.count("corollary12.decompose"));
+  EXPECT_TRUE(span_names.count("corollary12.class"));
+  EXPECT_TRUE(span_names.count("corollary12.cluster"));
+  EXPECT_TRUE(span_names.count("theorem11.iteration"));
+  EXPECT_TRUE(span_names.count("pool.run_tasks"));
+  const obs::StatLine* worker_tasks = find_stat(session.stats(), "pool", "pool.worker_tasks");
+  ASSERT_NE(worker_tasks, nullptr);
+  EXPECT_GE(worker_tasks->count, 3);  // one sample per worker per dispatch
+
+  // RAII spans on one thread follow stack discipline, so their intervals
+  // must properly nest. network.round events carry explicit transport
+  // timestamps and may straddle phase boundaries — they are exempt.
+  for (auto& [tid, evs] : complete_by_tid) {
+    std::vector<TraceEventView> spans;
+    for (const TraceEventView& ev : evs) {
+      if (ev.cat != "network") spans.push_back(ev);
+    }
+    std::sort(spans.begin(), spans.end(), [](const TraceEventView& a, const TraceEventView& b) {
+      if (a.ts != b.ts) return a.ts < b.ts;
+      return a.dur > b.dur;  // at equal starts the longer span opens first
+    });
+    std::vector<double> open_ends;
+    for (const TraceEventView& ev : spans) {
+      while (!open_ends.empty() && open_ends.back() <= ev.ts) open_ends.pop_back();
+      if (!open_ends.empty()) {
+        EXPECT_LE(ev.ts + ev.dur, open_ends.back())
+            << "span " << ev.name << " on tid " << tid << " partially overlaps its enclosing span";
+      }
+      open_ends.push_back(ev.ts + ev.dur);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Part 3: the determinism gate — tracing never perturbs results.
+
+TEST(ObsDeterminism, Theorem11IdenticalWithTracingOnAndOff) {
+  const Graph g = make_gnp(48, 0.15, test::kTestSeed + 7);
+  const ListInstance inst = ListInstance::delta_plus_one(g);
+
+  const Theorem11Result ref = theorem11_solve_per_component(g, inst);
+  ASSERT_TRUE(inst.valid_solution(ref.colors));
+
+  {
+    obs::TraceSession session;
+    const Theorem11Result traced = theorem11_solve_per_component(g, inst);
+    session.stop();
+    EXPECT_EQ(traced.colors, ref.colors) << "network, traced";
+    EXPECT_EQ(traced.iterations, ref.iterations);
+    EXPECT_EQ(traced.input_colors, ref.input_colors);
+    expect_metrics_eq(traced.metrics, ref.metrics, "network, traced");
+  }
+
+  for (int threads : {1, 3}) {
+    const std::string where = "engine t" + std::to_string(threads);
+    const Theorem11Result plain = runtime::theorem11_coloring(g, inst, threads);
+    obs::TraceSession session;
+    const Theorem11Result traced = runtime::theorem11_coloring(g, inst, threads);
+    session.stop();
+    EXPECT_EQ(traced.colors, plain.colors) << where;
+    EXPECT_EQ(traced.colors, ref.colors) << where;
+    EXPECT_EQ(traced.iterations, ref.iterations) << where;
+    expect_metrics_eq(traced.metrics, plain.metrics, where);
+    expect_metrics_eq(traced.metrics, ref.metrics, where);
+  }
+}
+
+TEST(ObsDeterminism, Corollary12IdenticalWithTracingOnAndOff) {
+  const Graph g = make_clustered(4, 10, 0.5, 8, test::kTestSeed + 2);
+  const ListInstance inst =
+      ListInstance::random_lists(g, 4 * (g.max_degree() + 1), 31);
+
+  const Corollary12Result ref = corollary12_solve(g, inst);
+  ASSERT_TRUE(inst.valid_solution(ref.colors));
+
+  {
+    obs::TraceSession session;
+    const Corollary12Result traced = corollary12_solve(g, inst);
+    session.stop();
+    EXPECT_EQ(traced.colors, ref.colors) << "network, traced";
+    EXPECT_EQ(traced.total_rounds, ref.total_rounds);
+    EXPECT_EQ(traced.decomposition_rounds, ref.decomposition_rounds);
+    EXPECT_EQ(traced.coloring_rounds, ref.coloring_rounds);
+    expect_metrics_eq(traced.metrics, ref.metrics, "network, traced");
+  }
+
+  for (int threads : {1, 3}) {
+    const std::string where = "engine t" + std::to_string(threads);
+    const Corollary12Result plain = runtime::corollary12_coloring(g, inst, threads);
+    obs::TraceSession session;
+    const Corollary12Result traced = runtime::corollary12_coloring(g, inst, threads);
+    session.stop();
+    EXPECT_EQ(traced.colors, plain.colors) << where;
+    EXPECT_EQ(traced.colors, ref.colors) << where;
+    EXPECT_EQ(traced.total_rounds, ref.total_rounds) << where;
+    EXPECT_EQ(traced.decomposition_rounds, ref.decomposition_rounds) << where;
+    EXPECT_EQ(traced.coloring_rounds, ref.coloring_rounds) << where;
+    expect_metrics_eq(traced.metrics, plain.metrics, where);
+    expect_metrics_eq(traced.metrics, ref.metrics, where);
+  }
+}
+
+}  // namespace
+}  // namespace dcolor
