@@ -105,6 +105,45 @@ def summary_table(records, baselines, out):
         out.append("| " + " | ".join(row) + " |")
 
 
+def trajectory_table(records, baselines, out):
+    """Throughput trajectory: nodes·rounds/s per instance vs baseline.
+
+    The wall-clock Δ in the summary answers "did this run regress"; this
+    table answers "where is the round-loop heading" — the throughput
+    ratio against the checked-in baselines, sorted so the biggest moves
+    (either direction) lead. Without baselines it degrades to absolute
+    throughput, so the weekly full-size report still shows the ranking.
+    """
+    rows = []
+    for rec in records:
+        cur = throughput(rec)
+        if cur <= 0:
+            continue
+        base = None
+        if baselines is not None:
+            base_rec = baselines.get(rec["_file"])
+            if base_rec is not None:
+                base = throughput(base_rec) or None
+        rows.append((instance_label(rec), cur, base))
+    if not rows:
+        out.append("_No throughput data._")
+        return
+    ratios = sorted(cur / base for _, cur, base in rows if base)
+    # Biggest movers first; baseline-less rows by throughput at the end.
+    rows.sort(key=lambda r: (r[2] is None, -(r[1] / r[2]) if r[2] else -r[1]))
+    out.append("| instance | nodes·rounds/s | baseline | speedup |")
+    out.append("|---|---|---|---|")
+    for name, cur, base in rows:
+        out.append(f"| {name} | {fmt_throughput(cur)} | {fmt_throughput(base or 0)} | "
+                   + (f"{cur / base:.2f}x |" if base else "- |"))
+    if ratios:
+        out.append("")
+        median = ratios[len(ratios) // 2] if len(ratios) % 2 else \
+            (ratios[len(ratios) // 2 - 1] + ratios[len(ratios) // 2]) / 2.0
+        out.append(f"Median speedup vs baseline: **{median:.2f}x** over "
+                   f"{len(ratios)} instance(s).")
+
+
 def phase_tables(records, out):
     """Per-record phase breakdown plus a cross-record aggregate."""
     with_phases = [r for r in records if r.get("phase_wall_ms")]
@@ -165,6 +204,10 @@ def main():
     out.append("## Summary")
     out.append("")
     summary_table(records, baselines, out)
+    out.append("")
+    out.append("## Throughput trajectory")
+    out.append("")
+    trajectory_table(records, baselines, out)
     out.append("")
     out.append("## Phase wall-time breakdown")
     out.append("")

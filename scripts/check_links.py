@@ -18,6 +18,7 @@ REQUIRED_DOCS = (
     "docs/ARCHITECTURE.md",
     "docs/BENCH_SCHEMA.md",
     "docs/OBSERVABILITY.md",
+    "docs/PERFORMANCE.md",
 )
 
 

@@ -26,23 +26,32 @@
 
 namespace dcolor::runtime {
 
-// TreeData over a cluster's associated tree: levels recomputed from the
-// parent arrays (a parent always precedes its children in tree_nodes),
-// rosters/CSR positions restricted to the tree's nodes so the
-// level-synchronous waves skip the rest of the graph. Steiner nodes are
-// tree nodes like any other. Depth mirrors ClusterChannel:
-// max(cluster.tree_depth, deepest level).
+// (Re)binds `out` to a cluster's associated tree: levels recomputed from
+// the parent arrays (a parent always precedes its children in
+// tree_nodes), rosters/CSR positions restricted to the tree's nodes so
+// the level-synchronous waves skip the rest of the graph. Steiner nodes
+// are tree nodes like any other. Depth mirrors ClusterChannel:
+// max(cluster.tree_depth, deepest level). Rebinding touches only
+// O(cluster size log cluster size) work — the n-sized TreeData arrays
+// are written only at the new tree's nodes and never reset (see
+// TreeData), which is what makes one TreeData reusable across the
+// thousands of clusters a decomposition produces.
 void cluster_tree_data(const Graph& g, const Cluster& cluster, TreeData* out);
 
 // EngineChannel over a cluster tree — the engine mirror of
 // ClusterChannel, with identical charging: aggregate_pair runs one
 // convergecast wave (depth rounds, one min(64,B)-bit message per tree
 // edge) carrying both Q32.32 saturating sums, plus ceil(128/B)-1 charged
-// pipelined rounds; broadcast_bit runs depth rounds of 1-bit messages
-// down the tree.
+// pipelined rounds; broadcast_bit runs depth rounds of 1-bit flag-plane
+// messages down the tree. Default-constructible and rebindable: one
+// channel per pool worker serves every cluster that worker runs, reusing
+// its TreeData and aggregation scratch.
 class ClusterEngineChannel final : public EngineChannel {
  public:
-  ClusterEngineChannel(const Graph& g, const Cluster& cluster);
+  ClusterEngineChannel() = default;
+  ClusterEngineChannel(const Graph& g, const Cluster& cluster) { rebind(g, cluster); }
+
+  void rebind(const Graph& g, const Cluster& cluster) { cluster_tree_data(g, cluster, &tree_); }
 
   std::pair<long double, long double> aggregate_pair(
       ParallelEngine& eng, const std::vector<long double>& values0,
@@ -55,6 +64,7 @@ class ClusterEngineChannel final : public EngineChannel {
 
  private:
   TreeData tree_;
+  AggregateScratch scratch_;
 };
 
 // Parallel backend for corollary12_run: an EngineColoringTransport over
@@ -82,18 +92,25 @@ class EngineCorollary12Transports final : public Corollary12Transports {
                          std::vector<congest::Metrics>* out_metrics) override;
 
  private:
-  // Worker `worker`'s reusable cluster transport, metrics reset; built on
-  // first use. Each pool worker owns its slot for a whole
-  // run_cluster_class call, so slots never contend.
-  EngineColoringTransport& slot(int worker);
+  // One single-threaded per-cluster transport + rebindable channel per
+  // pool worker: parallelism comes from running many independent
+  // clusters at once, not from splitting one (small) cluster across
+  // threads. The channel's TreeData and AggregateScratch persist across
+  // clusters, so the steady state allocates nothing per cluster.
+  struct ClusterSlot {
+    std::unique_ptr<EngineColoringTransport> transport;
+    std::unique_ptr<ClusterEngineChannel> channel;
+  };
+
+  // Worker `worker`'s reusable slot, metrics reset; built on first use.
+  // Each pool worker owns its slot for a whole run_cluster_class call,
+  // so slots never contend.
+  ClusterSlot& slot(int worker);
 
   const Graph* g_;
   int num_threads_;
   EngineColoringTransport global_;
-  // One single-threaded per-cluster transport per pool worker:
-  // parallelism comes from running many independent clusters at once,
-  // not from splitting one (small) cluster across threads.
-  std::vector<std::unique_ptr<EngineColoringTransport>> cluster_pool_;
+  std::vector<ClusterSlot> cluster_pool_;
 };
 
 // Drop-in parallel counterpart of dcolor::corollary12_solve (same

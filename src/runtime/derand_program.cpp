@@ -22,7 +22,6 @@ class BfsBuildProgram final : public NodeProgram {
     out_->depth = 0;
     out_->level.assign(g.num_nodes(), -1);
     out_->parent.assign(g.num_nodes(), -1);
-    out_->children.assign(g.num_nodes(), {});
     out_->level[root] = 0;
     id_bits_ = bit_width_of(static_cast<std::uint64_t>(g.num_nodes()));
   }
@@ -61,16 +60,20 @@ class BfsBuildProgram final : public NodeProgram {
 // combine their children's K saturating accumulators and forward toward
 // the root. Only the first accumulator's first bandwidth-sized chunk
 // travels through the simulator — the parent reads the child's full
-// accumulators across the phase barrier, and every further word/chunk
-// is charged by the caller via tick — exactly the accounting the
-// Network implementations use (BfsTree::aggregate at K=1,
-// ClusterChannel::aggregate_pair at K=2).
+// accumulators across the phase barrier (a contiguous children-CSR scan;
+// the staged messages stay for CONGEST accounting and contract checks),
+// and every further word/chunk is charged by the caller via tick —
+// exactly the accounting the Network implementations use
+// (BfsTree::aggregate at K=1, ClusterChannel::aggregate_pair at K=2).
+// `plain_sums` (see aggregate_fixed_sum) swaps the saturating adds for
+// plain uint64_t adds when the encode-time overflow bound proved them
+// bit-identical.
 template <std::size_t K>
 class TreeAggregateProgram final : public NodeProgram {
  public:
-  TreeAggregateProgram(const TreeData& t, std::array<std::vector<std::uint64_t>, K> acc,
-                       int bits_per_value, int bandwidth)
-      : tree_(&t), acc_(std::move(acc)) {
+  TreeAggregateProgram(const TreeData& t, std::array<std::uint64_t*, K> acc,
+                       int bits_per_value, int bandwidth, bool plain_sums)
+      : tree_(&t), acc_(acc), plain_(plain_sums) {
     first_chunk_bits_ = std::min(bits_per_value, bandwidth);
   }
 
@@ -78,13 +81,26 @@ class TreeAggregateProgram final : public NodeProgram {
     if (tree_->depth > 0 && tree_->level[v] == tree_->depth) send_up(v, out);
   }
 
-  void on_round(std::int64_t round, NodeId v, const Inbox& in, Outbox& out) override {
+  void on_round(std::int64_t round, NodeId v, const Inbox&, Outbox& out) override {
     if (tree_->level[v] != tree_->depth - static_cast<int>(round)) return;
-    // Saturating sums over children in ascending-id order (matching the
-    // Network inbox order; sat_add_u64 is order-independent anyway).
-    in.for_each([&](NodeId from, std::uint64_t) {
-      for (std::size_t k = 0; k < K; ++k) acc_[k][v] = sat_add_u64(acc_[k][v], acc_[k][from]);
-    });
+    const std::int64_t off = tree_->child_off[v];
+    const std::int32_t cnt = tree_->child_cnt[v];
+    // Sums over children in ascending-id order (matching the Network
+    // inbox order; both add flavors are order-independent anyway).
+    if (plain_) {
+      std::array<std::uint64_t, K> s;
+      for (std::size_t k = 0; k < K; ++k) s[k] = acc_[k][v];
+      for (std::int32_t j = 0; j < cnt; ++j) {
+        const NodeId c = tree_->children_flat[off + j];
+        for (std::size_t k = 0; k < K; ++k) s[k] += acc_[k][c];
+      }
+      for (std::size_t k = 0; k < K; ++k) acc_[k][v] = s[k];
+    } else {
+      for (std::int32_t j = 0; j < cnt; ++j) {
+        const NodeId c = tree_->children_flat[off + j];
+        for (std::size_t k = 0; k < K; ++k) acc_[k][v] = sat_add_u64(acc_[k][v], acc_[k][c]);
+      }
+    }
     if (v != tree_->root) send_up(v, out);
   }
 
@@ -92,9 +108,8 @@ class TreeAggregateProgram final : public NodeProgram {
 
   // Wave r only ever acts on level depth-r (and the init wave on the
   // deepest level): dispatch exactly that level.
-  const std::vector<NodeId>* roster(std::int64_t round) override {
-    const int lev = tree_->depth - static_cast<int>(round);
-    return &tree_->by_level[lev];
+  Roster roster(std::int64_t round) override {
+    return tree_->level_roster(tree_->depth - static_cast<int>(round));
   }
 
   std::array<std::uint64_t, K> result() const {
@@ -113,13 +128,16 @@ class TreeAggregateProgram final : public NodeProgram {
   }
 
   const TreeData* tree_;
-  std::array<std::vector<std::uint64_t>, K> acc_;
+  std::array<std::uint64_t*, K> acc_;
+  bool plain_;
   int first_chunk_bits_;
 };
 
 // Root-to-all broadcast over the tree (NodeProgram form of
 // congest::BfsTree::broadcast): level-r nodes forward to their children
-// in phase r; depth rounds, one message per tree edge.
+// in phase r; depth rounds, one message per tree edge. 1-bit broadcasts
+// go over the flag plane (identical charging; no receiver ever reads the
+// payload — the broadcast value is known to the caller).
 class TreeBroadcastProgram final : public NodeProgram {
  public:
   TreeBroadcastProgram(const TreeData& t, std::uint64_t value, int bits, int bandwidth)
@@ -142,14 +160,21 @@ class TreeBroadcastProgram final : public NodeProgram {
 
   // Wave r forwards from level r (init from the root): dispatch exactly
   // that level.
-  const std::vector<NodeId>* roster(std::int64_t round) override {
-    return &tree_->by_level[static_cast<int>(round)];
+  Roster roster(std::int64_t round) override {
+    return tree_->level_roster(static_cast<int>(round));
   }
 
  private:
   void forward(NodeId v, Outbox& out) {
-    const auto& nth = tree_->children_nth[v];
-    for (std::size_t k = 0; k < nth.size(); ++k) out.send_nth(nth[k], first_chunk_, first_chunk_bits_);
+    const std::int64_t off = tree_->child_off[v];
+    const std::int32_t cnt = tree_->child_cnt[v];
+    if (first_chunk_bits_ == 1) {
+      for (std::int32_t j = 0; j < cnt; ++j) out.send_flag_nth(tree_->children_nth_flat[off + j]);
+    } else {
+      for (std::int32_t j = 0; j < cnt; ++j) {
+        out.send_nth(tree_->children_nth_flat[off + j], first_chunk_, first_chunk_bits_);
+      }
+    }
   }
 
   const TreeData* tree_;
@@ -157,43 +182,107 @@ class TreeBroadcastProgram final : public NodeProgram {
   int first_chunk_bits_;
 };
 
+// Encodes values[v] for every tree node into acc (Q32.32), returning
+// whether the grand total provably cannot saturate: the running
+// __int128 total of the (non-negative) encodings bounds every partial
+// sum of the convergecast, so total <= UINT64_MAX makes plain adds
+// bit-identical to sat_add_u64.
+bool encode_tree_values(const TreeData& tree, const std::vector<long double>& values,
+                        std::vector<std::uint64_t>& acc, NodeId n) {
+  acc.resize(static_cast<std::size_t>(n));
+  unsigned __int128 total = 0;
+  for (const NodeId v : tree.level_nodes) {
+    const std::uint64_t enc = congest::to_fixed(values[v]);
+    acc[v] = enc;
+    total += enc;
+  }
+  return total <= static_cast<unsigned __int128>(~std::uint64_t{0});
+}
+
 }  // namespace
 
 void build_tree_data(ParallelEngine& eng, NodeId root, TreeData* out) {
   const Graph& g = eng.graph();
   BfsBuildProgram prog(g, root, out);
   eng.run(prog);
+  out->sorted_scratch.resize(static_cast<std::size_t>(g.num_nodes()));
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
     assert(out->level[v] >= 0 && "build_tree_data requires a connected graph");
     out->depth = std::max(out->depth, out->level[v]);
-    if (out->parent[v] >= 0) out->children[out->parent[v]].push_back(v);
+    out->sorted_scratch[static_cast<std::size_t>(v)] = v;
   }
-  finalize_tree_positions(g, out);
+  finalize_tree_positions(g, out, out->sorted_scratch);
 }
 
-void finalize_tree_positions(const Graph& g, TreeData* out) {
-  out->by_level.assign(static_cast<std::size_t>(out->depth) + 1, {});
-  out->parent_nth.assign(g.num_nodes(), -1);
-  out->children_nth.assign(g.num_nodes(), {});
+void finalize_tree_positions(const Graph& g, TreeData* out, const std::vector<NodeId>& nodes) {
+  const NodeId n = g.num_nodes();
+  out->num_tree_nodes = static_cast<std::int64_t>(nodes.size());
+  out->level.resize(static_cast<std::size_t>(n));  // no-op after first bind
+  out->parent.resize(static_cast<std::size_t>(n));
+  out->parent_nth.resize(static_cast<std::size_t>(n));
+  out->child_off.resize(static_cast<std::size_t>(n));
+  out->child_cnt.resize(static_cast<std::size_t>(n));
+  out->children_flat.resize(nodes.size());
+  out->children_nth_flat.resize(nodes.size());
+  out->level_off.assign(static_cast<std::size_t>(out->depth) + 2, 0);
+  out->level_nodes.resize(nodes.size());
+
+  // Counting sorts over the tree's own nodes only: per-level rosters and
+  // the children CSR, both ascending-id within a group because `nodes`
+  // is ascending.
+  for (const NodeId v : nodes) {
+    ++out->level_off[static_cast<std::size_t>(out->level[v]) + 1];
+    out->child_cnt[v] = 0;
+  }
+  for (std::size_t l = 1; l < out->level_off.size(); ++l) {
+    out->level_off[l] += out->level_off[l - 1];
+  }
+  for (const NodeId v : nodes) {
+    if (out->parent[v] >= 0) ++out->child_cnt[out->parent[v]];
+  }
+  {
+    std::int64_t off = 0;
+    for (const NodeId v : nodes) {
+      out->child_off[v] = off;
+      off += out->child_cnt[v];
+      out->child_cnt[v] = 0;  // reused as the fill cursor below
+    }
+  }
+
   auto nth_of = [&g](NodeId v, NodeId u) {
     const auto nb = g.neighbors(v);
     return static_cast<int>(std::lower_bound(nb.begin(), nb.end(), u) - nb.begin());
   };
-  for (NodeId v = 0; v < g.num_nodes(); ++v) {
-    if (out->level[v] < 0) continue;
-    out->by_level[out->level[v]].push_back(v);
-    if (out->parent[v] >= 0) out->parent_nth[v] = nth_of(v, out->parent[v]);
-    out->children_nth[v].reserve(out->children[v].size());
-    for (NodeId c : out->children[v]) out->children_nth[v].push_back(nth_of(v, c));
+  // One cursor array per level would cost O(depth); reuse level_off as
+  // cursors and rebuild it afterwards instead.
+  for (const NodeId v : nodes) {
+    out->level_nodes[static_cast<std::size_t>(
+        out->level_off[static_cast<std::size_t>(out->level[v])]++)] = v;
+    const NodeId p = out->parent[v];
+    if (p >= 0) {
+      const std::int64_t slot = out->child_off[p] + out->child_cnt[p]++;
+      out->children_flat[static_cast<std::size_t>(slot)] = v;
+      out->children_nth_flat[static_cast<std::size_t>(slot)] = nth_of(p, v);
+      out->parent_nth[v] = nth_of(v, p);
+    } else {
+      out->parent_nth[v] = -1;
+    }
   }
+  for (std::size_t l = out->level_off.size() - 1; l > 0; --l) {
+    out->level_off[l] = out->level_off[l - 1];
+  }
+  out->level_off[0] = 0;
 }
 
 std::uint64_t aggregate_fixed_sum(ParallelEngine& eng, const TreeData& tree,
-                                  const std::vector<long double>& values) {
-  std::vector<std::uint64_t> enc(values.size());
-  for (std::size_t i = 0; i < values.size(); ++i) enc[i] = congest::to_fixed(values[i]);
+                                  const std::vector<long double>& values,
+                                  AggregateScratch* scratch) {
+  AggregateScratch local;
+  if (scratch == nullptr) scratch = &local;
+  const bool plain = encode_tree_values(tree, values, scratch->acc0, eng.graph().num_nodes());
   constexpr int kBits = 64;
-  TreeAggregateProgram<1> prog(tree, {std::move(enc)}, kBits, eng.bandwidth_bits());
+  TreeAggregateProgram<1> prog(tree, {scratch->acc0.data()}, kBits, eng.bandwidth_bits(),
+                               plain);
   eng.run(prog);
   const int chunks = (kBits + eng.bandwidth_bits() - 1) / eng.bandwidth_bits();
   if (chunks > 1) eng.tick(chunks - 1);
@@ -202,18 +291,14 @@ std::uint64_t aggregate_fixed_sum(ParallelEngine& eng, const TreeData& tree,
 
 std::pair<std::uint64_t, std::uint64_t> aggregate_fixed_pair_sum(
     ParallelEngine& eng, const TreeData& tree, const std::vector<long double>& values0,
-    const std::vector<long double>& values1) {
+    const std::vector<long double>& values1, AggregateScratch* scratch) {
+  AggregateScratch local;
+  if (scratch == nullptr) scratch = &local;
   const NodeId n = eng.graph().num_nodes();
-  std::vector<std::uint64_t> acc0(n, 0);
-  std::vector<std::uint64_t> acc1(n, 0);
-  for (const auto& level : tree.by_level) {
-    for (NodeId v : level) {
-      acc0[v] = congest::to_fixed(values0[v]);
-      acc1[v] = congest::to_fixed(values1[v]);
-    }
-  }
-  TreeAggregateProgram<2> prog(tree, {std::move(acc0), std::move(acc1)}, 64,
-                               eng.bandwidth_bits());
+  const bool plain0 = encode_tree_values(tree, values0, scratch->acc0, n);
+  const bool plain1 = encode_tree_values(tree, values1, scratch->acc1, n);
+  TreeAggregateProgram<2> prog(tree, {scratch->acc0.data(), scratch->acc1.data()}, 64,
+                               eng.bandwidth_bits(), plain0 && plain1);
   eng.run(prog);
   const int chunks = (128 + eng.bandwidth_bits() - 1) / eng.bandwidth_bits();
   if (chunks > 1) eng.tick(chunks - 1);
@@ -266,10 +351,9 @@ void AlongExchangeProgram::on_round(std::int64_t, NodeId v, const Inbox& in, Out
   in.for_each([&](NodeId from, std::uint64_t) { fv.push_back(from); });
 }
 
-const std::vector<NodeId>* AlongExchangeProgram::roster(std::int64_t round) {
-  static const std::vector<NodeId> kNobody;
-  if (round == 1 && from_ == nullptr) return &kNobody;
-  return nullptr;
+Roster AlongExchangeProgram::roster(std::int64_t round) {
+  if (round == 1 && from_ == nullptr) return Roster::none();
+  return Roster::all();
 }
 
 MisColorClassesProgram::MisColorClassesProgram(const InducedSubgraph& active,
@@ -279,6 +363,28 @@ MisColorClassesProgram::MisColorClassesProgram(const InducedSubgraph& active,
   const NodeId n = active.base().num_nodes();
   in_mis_.assign(n, 0);
   dominated_.assign(n, 0);
+  // Counting-sort CSR of the active nodes by color, ascending ids within
+  // a class; plus the roster scratch, reserved so the per-round roster
+  // builds below never allocate.
+  by_color_off_.assign(static_cast<std::size_t>(std::max<std::int64_t>(num_colors, 0)) + 1, 0);
+  seen_round_.assign(static_cast<std::size_t>(n), -1);
+  std::int64_t active_count = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    if (active.contains(v)) {
+      ++by_color_off_[static_cast<std::size_t>(coloring[v]) + 1];
+      ++active_count;
+    }
+  }
+  for (std::size_t c = 1; c < by_color_off_.size(); ++c) by_color_off_[c] += by_color_off_[c - 1];
+  by_color_nodes_.resize(static_cast<std::size_t>(active_count));
+  std::vector<std::int64_t> cursor(by_color_off_.begin(), by_color_off_.end() - 1);
+  for (NodeId v = 0; v < n; ++v) {
+    if (active.contains(v)) {
+      by_color_nodes_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(coloring[v])]++)] =
+          v;
+    }
+  }
+  roster_scratch_.reserve(static_cast<std::size_t>(n));
 }
 
 void MisColorClassesProgram::join(NodeId v, Outbox& out) {
@@ -286,7 +392,7 @@ void MisColorClassesProgram::join(NodeId v, Outbox& out) {
   dominated_[v] = 1;
   const auto nb = active_->base().neighbors(v);
   for (std::size_t j = 0; j < nb.size(); ++j) {
-    if (active_->contains(nb[j])) out.send_nth(static_cast<int>(j), 1, 1);
+    if (active_->contains(nb[j])) out.send_flag_nth(static_cast<int>(j));
   }
 }
 
@@ -299,6 +405,38 @@ void MisColorClassesProgram::on_round(std::int64_t round, NodeId v, const Inbox&
   if (!active_->contains(v)) return;
   if (!in.empty()) dominated_[v] = 1;
   if ((*coloring_)[v] == round && !dominated_[v]) join(v, out);
+}
+
+Roster MisColorClassesProgram::roster(std::int64_t round) {
+  if (num_colors_ == 0) return Roster::none();
+  if (round == 0) {
+    // Only class 0 can act in init.
+    return Roster::of(by_color_nodes_.data() + class_begin(0),
+                      class_end(0) - class_begin(0));
+  }
+  // Round r touches exactly class r (join candidates) plus the active
+  // neighbors of round r-1's joiners (the only nodes with live inboxes);
+  // everyone else provably stages nothing and changes nothing.
+  roster_scratch_.clear();
+  if (round < num_colors_) {
+    for (std::size_t i = class_begin(round); i < class_end(round); ++i) {
+      const NodeId v = by_color_nodes_[i];
+      seen_round_[static_cast<std::size_t>(v)] = round;
+      roster_scratch_.push_back(v);
+    }
+  }
+  for (std::size_t i = class_begin(round - 1); i < class_end(round - 1); ++i) {
+    const NodeId u = by_color_nodes_[i];
+    if (!in_mis_[u]) continue;
+    for (const NodeId w : active_->base().neighbors(u)) {
+      if (!active_->contains(w)) continue;
+      if (seen_round_[static_cast<std::size_t>(w)] == round) continue;
+      seen_round_[static_cast<std::size_t>(w)] = round;
+      roster_scratch_.push_back(w);
+    }
+  }
+  std::sort(roster_scratch_.begin(), roster_scratch_.end());
+  return Roster::of(roster_scratch_);
 }
 
 std::vector<bool> MisColorClassesProgram::in_mis() const {
@@ -314,7 +452,8 @@ std::pair<long double, long double> TreeEngineChannel::aggregate_pair(
   // first word is aggregated over the tree, the second rides the same
   // wave as one extra pipelined chunk (summed in-memory, one charged
   // round).
-  const long double s0 = congest::from_fixed(aggregate_fixed_sum(eng, *tree_, values0));
+  const long double s0 =
+      congest::from_fixed(aggregate_fixed_sum(eng, *tree_, values0, &scratch_));
   long double s1 = 0.0L;
   for (long double v : values1) s1 += v;
   eng.tick(1);

@@ -21,21 +21,45 @@
 
 namespace dcolor::runtime {
 
-// BFS tree as plain per-node arrays (the engine-side mirror of
-// congest::BfsTree's structure), plus the dispatch accelerators the
-// level-synchronous programs use: per-level node rosters (so a wave only
-// visits its own level, see NodeProgram::roster) and the CSR positions
-// of each node's parent / children (so tree sends are O(1) send_nth
-// instead of O(log deg) edge lookups).
+// A rooted tree in dense per-wave form: flat CSR arrays instead of
+// vectors-of-vectors, so (a) the level-synchronous waves hand the engine
+// per-level Roster views straight into `level_nodes` with zero per-phase
+// work, (b) child iteration in the convergecast is a contiguous scan the
+// hardware prefetches, and (c) a TreeData instance REBINDS to a new
+// (cluster) tree touching only the new tree's nodes — the n-sized arrays
+// are allocated once and never reset, because every consumer reads
+// per-node entries only for nodes of the currently bound tree (rosters
+// and child lists never lead outside it).
 struct TreeData {
   NodeId root = 0;
   int depth = 0;
+  std::int64_t num_tree_nodes = 0;
+
+  // Per-node arrays (size n; only the bound tree's entries meaningful).
   std::vector<int> level;
   std::vector<NodeId> parent;
-  std::vector<std::vector<NodeId>> children;
-  std::vector<std::vector<NodeId>> by_level;      // ascending ids per level
-  std::vector<int> parent_nth;                    // parent's index in v's adjacency
-  std::vector<std::vector<int>> children_nth;     // aligned with `children`
+  std::vector<int> parent_nth;           // parent's index in v's adjacency
+  std::vector<std::int64_t> child_off;   // v's children at children_flat[child_off[v]..)
+  std::vector<std::int32_t> child_cnt;
+
+  // Children CSR, ascending child id within each node.
+  std::vector<NodeId> children_flat;
+  std::vector<int> children_nth_flat;    // child's index in v's adjacency, aligned
+
+  // Per-level rosters: level l = level_nodes[level_off[l], level_off[l+1]),
+  // ascending ids within each level.
+  std::vector<std::int64_t> level_off;   // depth + 2 entries
+  std::vector<NodeId> level_nodes;
+
+  Roster level_roster(int l) const {
+    const std::int64_t b = level_off[l];
+    return Roster::of(level_nodes.data() + b,
+                      static_cast<std::size_t>(level_off[l + 1] - b));
+  }
+
+  // Rebind workspace (the ascending node list handed to
+  // finalize_tree_positions); kept here so its capacity survives rebinds.
+  std::vector<NodeId> sorted_scratch;
 };
 
 // Builds `out` by synchronous flooding from `root` on the engine's graph
@@ -43,33 +67,49 @@ struct TreeData {
 // send_all per node — exactly congest::BfsTree::build.
 void build_tree_data(ParallelEngine& eng, NodeId root, TreeData* out);
 
-// Fills the dispatch accelerators (by_level rosters in ascending id
-// order, parent/children CSR positions) of a TreeData whose
-// root/depth/level/parent/children are already set. Nodes with level < 0
-// are outside the tree and get no roster slot. Shared tail of the BFS
-// (build_tree_data) and cluster-tree (cluster_tree_data) constructions.
-void finalize_tree_positions(const Graph& g, TreeData* out);
+// Fills the dispatch accelerators (per-level rosters, parent/children
+// CSR positions) of a TreeData whose root/depth/level/parent are already
+// set for every node in `nodes` (ascending ids, the full tree). Nodes
+// outside the list get no roster slot and their per-node entries are
+// left untouched (possibly stale from a previous bind — by design, see
+// TreeData). Shared tail of the BFS (build_tree_data) and cluster-tree
+// (cluster_tree_data) constructions.
+void finalize_tree_positions(const Graph& g, TreeData* out, const std::vector<NodeId>& nodes);
+
+// Reusable O(n) encode buffers for the aggregations below: owned by the
+// channels/transports so the per-seed-bit convergecasts of the Lemma 2.6
+// loop allocate nothing in the steady state.
+struct AggregateScratch {
+  std::vector<std::uint64_t> acc0, acc1;
+};
 
 // Level-synchronous convergecast of the saturating sum of Q32.32
 // encodings over the tree (the engine form of congest::aggregate_fixed_sum
 // + BfsTree::aggregate): depth rounds plus ceil(64/B)-1 charged pipelined
-// rounds, one message per tree edge.
+// rounds, one message per tree edge. When the grand total of the
+// encodings fits std::uint64_t (checked once at encode time against an
+// __int128 running total), the per-node sums run as plain uint64_t adds —
+// bit-identical to the saturating adds, since non-negative addends can
+// only saturate past the grand total.
 std::uint64_t aggregate_fixed_sum(ParallelEngine& eng, const TreeData& tree,
-                                  const std::vector<long double>& values);
+                                  const std::vector<long double>& values,
+                                  AggregateScratch* scratch = nullptr);
 
 // Convergecast of the saturating sums of TWO Q32.32 encodings in ONE
 // wave over the tree (the engine form of ClusterChannel::aggregate_pair):
 // depth rounds plus ceil(128/B)-1 charged pipelined rounds, one
 // min(64,B)-bit message per tree edge carrying the first word's first
 // chunk — the second word rides the charged pipelined chunks, summed
-// across the phase barrier. Only tree nodes (level >= 0) contribute.
+// across the phase barrier. Only tree nodes contribute.
 std::pair<std::uint64_t, std::uint64_t> aggregate_fixed_pair_sum(
     ParallelEngine& eng, const TreeData& tree, const std::vector<long double>& values0,
-    const std::vector<long double>& values1);
+    const std::vector<long double>& values1, AggregateScratch* scratch = nullptr);
 
 // Root-to-all broadcast of one `bits`-bit value over the tree (the engine
 // form of BfsTree::broadcast): depth rounds plus charged pipelining, one
-// message per tree edge.
+// message per tree edge. 1-bit broadcasts ride the engine's flag plane
+// (same charging; the value is globally known to the caller, so receivers
+// never read the payload).
 void tree_broadcast(ParallelEngine& eng, const TreeData& tree, std::uint64_t value, int bits);
 
 // One round of scatter: sender nodes deliver their payload to every
@@ -118,7 +158,7 @@ class AlongExchangeProgram final : public NodeProgram {
   bool done(std::int64_t rounds) override { return rounds == 1; }
   // Without a collection sink the delivery phase is a no-op for every
   // node: dispatch nobody.
-  const std::vector<NodeId>* roster(std::int64_t round) override;
+  Roster roster(std::int64_t round) override;
 
  private:
   const Graph* g_;
@@ -132,7 +172,12 @@ class AlongExchangeProgram final : public NodeProgram {
 
 // MIS by iterating the color classes of a proper coloring (the engine
 // form of dcolor::mis_by_color_classes): class c joins in phase c and
-// announces with a 1-bit message; num_colors rounds total.
+// announces with a 1-bit flag-plane message; num_colors rounds total.
+// Phases are rostered: round r dispatches exactly class r plus the
+// active neighbors of the previous round's joiners (the only possible
+// receivers), computed on the coordinator into reusable scratch — total
+// dispatch work O(n + m) over the whole run instead of
+// O(num_colors * n).
 class MisColorClassesProgram final : public NodeProgram {
  public:
   MisColorClassesProgram(const InducedSubgraph& active,
@@ -141,18 +186,30 @@ class MisColorClassesProgram final : public NodeProgram {
   void init(NodeId v, Outbox& out) override;
   void on_round(std::int64_t round, NodeId v, const Inbox& in, Outbox& out) override;
   bool done(std::int64_t rounds) override { return rounds == num_colors_; }
+  Roster roster(std::int64_t round) override;
 
   // Membership indicator after the run.
   std::vector<bool> in_mis() const;
 
  private:
   void join(NodeId v, Outbox& out);
+  // Class c of the proper coloring: by_color_nodes[by_color_off[c]..).
+  std::size_t class_begin(std::int64_t c) const {
+    return static_cast<std::size_t>(by_color_off_[static_cast<std::size_t>(c)]);
+  }
+  std::size_t class_end(std::int64_t c) const {
+    return static_cast<std::size_t>(by_color_off_[static_cast<std::size_t>(c) + 1]);
+  }
 
   const InducedSubgraph* active_;
   const std::vector<std::int64_t>* coloring_;
   std::int64_t num_colors_;
   std::vector<char> in_mis_;
   std::vector<char> dominated_;
+  std::vector<std::int64_t> by_color_off_;  // counting-sort CSR of active nodes
+  std::vector<NodeId> by_color_nodes_;
+  std::vector<NodeId> roster_scratch_;      // reserve(n): zero-alloc rosters
+  std::vector<std::int64_t> seen_round_;    // roster dedupe stamps
 };
 
 // Engine-side counterpart of DerandChannel: the aggregation/broadcast
@@ -185,6 +242,7 @@ class TreeEngineChannel final : public EngineChannel {
 
  private:
   const TreeData* tree_;
+  AggregateScratch scratch_;
 };
 
 }  // namespace dcolor::runtime

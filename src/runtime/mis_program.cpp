@@ -25,7 +25,7 @@ void EngineMisTransport::exchange(const std::vector<char>& senders,
 }
 
 std::uint64_t EngineMisTransport::aggregate_fixed_sum(const std::vector<long double>& values) {
-  return runtime::aggregate_fixed_sum(eng_, tree_, values);
+  return runtime::aggregate_fixed_sum(eng_, tree_, values, &scratch_);
 }
 
 void EngineMisTransport::broadcast(std::uint64_t value, int bits) {

@@ -38,6 +38,7 @@ class EngineMisTransport final : public MisTransport {
   const Graph* g_;
   ParallelEngine eng_;
   TreeData tree_;
+  AggregateScratch scratch_;
 };
 
 // Deterministic MIS on the communication graph, executed by the parallel

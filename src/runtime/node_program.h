@@ -16,6 +16,8 @@
 // enforce.
 #pragma once
 
+#include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -36,37 +38,107 @@ struct Slot {
 // Read-only view of one node's inbox for the round being processed.
 // Slot i corresponds to the node's i-th CSR neighbor whether or not that
 // neighbor sent this round; `has(i)` distinguishes the two.
+//
+// Messages arrive on one of two planes: the general Slot plane (payload +
+// epoch stamp) and the flag plane — a per-delivery bitset holding 1-bit
+// presence messages staged with Outbox::send_flag_nth (payload reads as
+// 1). `flag_words` is the delivered bitset indexed by global slot number
+// (this node's slots are [flag_base, flag_base+degree)), or nullptr when
+// no flags were staged last phase; `slots_live` is false when no Slot
+// messages were staged last phase, which lets empty() skip the O(degree)
+// stamp scan entirely — the fast path of 1-bit broadcast rounds.
 class Inbox {
  public:
-  Inbox(const Slot* slots, const NodeId* neighbors, int degree, std::int64_t epoch)
-      : slots_(slots), neighbors_(neighbors), degree_(degree), epoch_(epoch) {}
+  Inbox(const Slot* slots, const NodeId* neighbors, int degree, std::int64_t epoch,
+        const std::atomic<std::uint64_t>* flag_words = nullptr, std::int64_t flag_base = 0,
+        bool slots_live = true)
+      : slots_(slots), neighbors_(neighbors), degree_(degree), epoch_(epoch),
+        flags_(flag_words), base_(flag_base), slots_live_(slots_live) {}
 
   int size() const { return degree_; }
-  bool has(int i) const { return slots_[i].stamp == epoch_; }
+  bool has(int i) const { return slots_[i].stamp == epoch_ || flag(i); }
   NodeId from(int i) const { return neighbors_[i]; }
-  std::uint64_t payload(int i) const { return slots_[i].payload; }
+  std::uint64_t payload(int i) const {
+    return slots_[i].stamp == epoch_ ? slots_[i].payload : 1;
+  }
 
   bool empty() const {
-    for (int i = 0; i < degree_; ++i) {
-      if (has(i)) return false;
+    if (flags_ != nullptr && !flag_range_empty()) return false;
+    if (slots_live_) {
+      for (int i = 0; i < degree_; ++i) {
+        if (slots_[i].stamp == epoch_) return false;
+      }
     }
     return true;
   }
 
   // f(NodeId from, std::uint64_t payload) over live slots, in CSR
-  // (ascending neighbor id) order.
+  // (ascending neighbor id) order — both planes interleaved.
   template <typename F>
   void for_each(F&& f) const {
     for (int i = 0; i < degree_; ++i) {
-      if (has(i)) f(neighbors_[i], slots_[i].payload);
+      if (slots_live_ && slots_[i].stamp == epoch_) {
+        f(neighbors_[i], slots_[i].payload);
+      } else if (flag(i)) {
+        f(neighbors_[i], std::uint64_t{1});
+      }
     }
   }
 
  private:
+  bool flag(int i) const {
+    if (flags_ == nullptr) return false;
+    const std::uint64_t b = static_cast<std::uint64_t>(base_ + i);
+    return (flags_[b >> 6].load(std::memory_order_relaxed) >> (b & 63)) & 1;
+  }
+
+  // Word-at-a-time scan of the flag bits covering [base_, base_+degree_):
+  // O(degree/64) instead of O(degree).
+  bool flag_range_empty() const {
+    if (degree_ == 0) return true;
+    const std::uint64_t lo = static_cast<std::uint64_t>(base_);
+    const std::uint64_t hi = lo + static_cast<std::uint64_t>(degree_);
+    const std::uint64_t w0 = lo >> 6;
+    const std::uint64_t w1 = (hi - 1) >> 6;
+    const std::uint64_t head = ~std::uint64_t{0} << (lo & 63);
+    const std::uint64_t tail = ~std::uint64_t{0} >> (63 - ((hi - 1) & 63));
+    if (w0 == w1) return (flags_[w0].load(std::memory_order_relaxed) & head & tail) == 0;
+    if (flags_[w0].load(std::memory_order_relaxed) & head) return false;
+    for (std::uint64_t w = w0 + 1; w < w1; ++w) {
+      if (flags_[w].load(std::memory_order_relaxed) != 0) return false;
+    }
+    return (flags_[w1].load(std::memory_order_relaxed) & tail) == 0;
+  }
+
   const Slot* slots_;
   const NodeId* neighbors_;
   int degree_;
   std::int64_t epoch_;
+  const std::atomic<std::uint64_t>* flags_;
+  std::int64_t base_;
+  bool slots_live_;
+};
+
+// Sparse-phase dispatch view: which nodes the engine should run this
+// phase. `dense` (the default) dispatches every node; otherwise exactly
+// the `count` ids at `nodes` (ascending), which must stay valid until the
+// phase barrier. Returning a view over a caller-owned flat array — a
+// per-level slice of a tree's CSR roster, a reusable scratch vector —
+// costs nothing per phase, which is the point: rosters replaced the
+// per-round O(n) scans of the level-synchronous tree waves.
+struct Roster {
+  const NodeId* nodes = nullptr;
+  std::size_t count = 0;
+  bool dense = true;
+
+  static Roster all() { return Roster{}; }
+  static Roster none() { return Roster{nullptr, 0, false}; }
+  static Roster of(const NodeId* data, std::size_t n) { return Roster{data, n, false}; }
+  static Roster of(const std::vector<NodeId>& v) { return Roster{v.data(), v.size(), false}; }
+
+  std::int64_t size_or(std::int64_t dense_size) const {
+    return dense ? dense_size : static_cast<std::int64_t>(count);
+  }
 };
 
 class Outbox;  // defined with the engine in parallel_engine.h
@@ -89,18 +161,18 @@ class NodeProgram {
   virtual bool done(std::int64_t rounds) = 0;
 
   // Optional sparse-phase hint, called on the coordinator thread before
-  // each phase (`round` 0 = init, then 1-based like on_round). A non-null
-  // return promises that every node NOT in the list is a no-op this
+  // each phase (`round` 0 = init, then 1-based like on_round). A
+  // non-dense return promises that every node NOT listed is a no-op this
   // phase: its hook would stage no sends and change no observable state.
   // The engine then dispatches only the listed nodes (ascending ids),
   // which cannot perturb results or Metrics at any thread count — it
   // merely skips work the program declared dead. Level-synchronous tree
-  // programs cut a factor depth(tree) this way. Return nullptr (the
-  // default) for dense phases; the list must stay valid until the phase
-  // barrier.
-  virtual const std::vector<NodeId>* roster(std::int64_t round) {
+  // programs cut a factor depth(tree) this way. Return Roster::all() (the
+  // default) for dense phases; the listed ids must stay valid until the
+  // phase barrier.
+  virtual Roster roster(std::int64_t round) {
     (void)round;
-    return nullptr;
+    return Roster::all();
   }
 };
 

@@ -40,6 +40,15 @@ ParallelEngine::ParallelEngine(const Graph& g, int num_threads, int bandwidth_bi
 
   bufs_[0].assign(static_cast<std::size_t>(slots), Slot{});
   bufs_[1].assign(static_cast<std::size_t>(slots), Slot{});
+  const std::size_t flag_words = static_cast<std::size_t>((slots + 63) / 64);
+  for (FlagBuf& b : flags_) {
+    if (flag_words > 0) {
+      b.words = std::make_unique<std::atomic<std::uint64_t>[]>(flag_words);
+      for (std::size_t w = 0; w < flag_words; ++w) {
+        b.words[w].store(0, std::memory_order_relaxed);
+      }
+    }
+  }
 
   // Degree-weighted static chunking: balanced for skewed degree
   // distributions, and independent of anything but (graph, num_threads),
@@ -59,10 +68,12 @@ ParallelEngine::ParallelEngine(const Graph& g, int num_threads, int bandwidth_bi
     }
     chunk_bounds_[t] = v;
   }
+
+  phase_job_ = [this](int t) { phase_body_(phase_ctx_, t); };
 }
 
 void ParallelEngine::stage(NodeId from, int nth, std::uint64_t payload, int bits,
-                           congest::Metrics& m) {
+                           WorkerState& ws) {
   if (bits > bandwidth_) {
     throw CongestViolation("message of " + std::to_string(bits) + " bits exceeds bandwidth " +
                            std::to_string(bandwidth_));
@@ -71,15 +82,56 @@ void ParallelEngine::stage(NodeId from, int nth, std::uint64_t payload, int bits
     throw CongestViolation("declared size " + std::to_string(bits) +
                            " bits cannot hold payload");
   }
-  Slot& s = staging()[rev_slot_[offset_[from] + nth]];
-  if (s.stamp == epoch_ + 1) {
+  const std::int64_t slot = rev_slot_[offset_[from] + nth];
+  Slot& s = staging()[slot];
+  // The sender of a directed edge is unique and runs on one worker, so
+  // only this worker could have set the edge's flag bit — a relaxed load
+  // races with nobody on the bit it tests.
+  if (s.stamp == epoch_ + 1 ||
+      (ws.staged_flags &&
+       (staging_flags()[slot >> 6].load(std::memory_order_relaxed) >> (slot & 63)) & 1)) {
     throw CongestViolation("two messages over one edge in one round");
   }
   s.stamp = epoch_ + 1;
   s.payload = payload;
-  ++m.messages;
-  m.total_bits += bits;
-  if (bits > m.max_message_bits) m.max_message_bits = bits;
+  ws.staged_slots = true;
+  ++ws.metrics.messages;
+  ws.metrics.total_bits += bits;
+  if (bits > ws.metrics.max_message_bits) ws.metrics.max_message_bits = bits;
+}
+
+void ParallelEngine::stage_flag(NodeId from, int nth, WorkerState& ws) {
+  const std::int64_t slot = rev_slot_[offset_[from] + nth];
+  if (staging()[slot].stamp == epoch_ + 1) {
+    throw CongestViolation("two messages over one edge in one round");
+  }
+  const std::int64_t word = slot >> 6;
+  const std::uint64_t bit = std::uint64_t{1} << (slot & 63);
+  // Other workers fetch_or other bits of the same word concurrently; the
+  // edge's own bit has exactly one possible setter (this worker), so the
+  // returned old value detects a duplicate send deterministically.
+  if (staging_flags()[word].fetch_or(bit, std::memory_order_relaxed) & bit) {
+    throw CongestViolation("two messages over one edge in one round");
+  }
+  if (!ws.staged_flags) {
+    ws.staged_flags = true;
+    ws.flag_lo = word;
+    ws.flag_hi = word + 1;
+  } else {
+    ws.flag_lo = std::min(ws.flag_lo, word);
+    ws.flag_hi = std::max(ws.flag_hi, word + 1);
+  }
+  ++ws.metrics.messages;
+  ws.metrics.total_bits += 1;
+  if (ws.metrics.max_message_bits < 1) ws.metrics.max_message_bits = 1;
+}
+
+void ParallelEngine::clear_flag_buf(FlagBuf& b) {
+  for (std::int64_t w = b.dirty_lo; w < b.dirty_hi; ++w) {
+    b.words[w].store(0, std::memory_order_relaxed);
+  }
+  b.dirty_lo = b.dirty_hi = 0;
+  b.live = false;
 }
 
 void Outbox::send(NodeId to, std::uint64_t payload, int bits) {
@@ -88,43 +140,54 @@ void Outbox::send(NodeId to, std::uint64_t payload, int bits) {
   if (it == nb.end() || *it != to) {
     throw CongestViolation("send over non-edge");
   }
-  eng_->stage(self_, static_cast<int>(it - nb.begin()), payload, bits, *metrics_);
+  eng_->stage(self_, static_cast<int>(it - nb.begin()), payload, bits,
+              *static_cast<ParallelEngine::WorkerState*>(worker_));
 }
 
 void Outbox::send_nth(int nth, std::uint64_t payload, int bits) {
   assert(nth >= 0 && nth < eng_->g_->degree(self_));
-  eng_->stage(self_, nth, payload, bits, *metrics_);
+  eng_->stage(self_, nth, payload, bits, *static_cast<ParallelEngine::WorkerState*>(worker_));
 }
 
 void Outbox::send_all(std::uint64_t payload, int bits) {
   const int deg = eng_->g_->degree(self_);
-  for (int j = 0; j < deg; ++j) eng_->stage(self_, j, payload, bits, *metrics_);
+  auto& ws = *static_cast<ParallelEngine::WorkerState*>(worker_);
+  for (int j = 0; j < deg; ++j) eng_->stage(self_, j, payload, bits, ws);
+}
+
+void Outbox::send_flag_nth(int nth) {
+  assert(nth >= 0 && nth < eng_->g_->degree(self_));
+  eng_->stage_flag(self_, nth, *static_cast<ParallelEngine::WorkerState*>(worker_));
 }
 
 template <typename F>
-void ParallelEngine::run_phase(const std::vector<NodeId>* roster, F&& per_node) {
+void ParallelEngine::run_phase(const Roster& roster, F&& per_node) {
   for (WorkerState& w : workers_) {
     w.metrics = congest::Metrics{};
     w.fail_node = -1;
     w.error = nullptr;
+    w.staged_slots = false;
+    w.staged_flags = false;
   }
   const int T = pool_.num_threads();
-  pool_.run([&](int t) {
+  const std::size_t width =
+      roster.dense ? static_cast<std::size_t>(g_->num_nodes()) : roster.count;
+  auto body = [&](int t) {
     WorkerState& ws = workers_[t];
-    Outbox out(this, &ws.metrics);
+    Outbox out(this, &ws);
     // Dense phases use the precomputed degree-weighted chunking; rostered
     // phases split the (ascending) roster into equal contiguous ranges.
     // Either partition depends only on (graph, roster, T), never on
     // timing, so thread count cannot perturb anything.
     const std::size_t r_lo =
-        roster ? roster->size() * static_cast<std::size_t>(t) / T : 0;
+        roster.dense ? 0 : roster.count * static_cast<std::size_t>(t) / T;
     const std::size_t r_hi =
-        roster ? roster->size() * (static_cast<std::size_t>(t) + 1) / T : 0;
-    const NodeId lo = roster ? 0 : chunk_bounds_[t];
-    const NodeId hi = roster ? 0 : chunk_bounds_[t + 1];
-    const std::size_t count = roster ? r_hi - r_lo : static_cast<std::size_t>(hi - lo);
+        roster.dense ? 0 : roster.count * (static_cast<std::size_t>(t) + 1) / T;
+    const NodeId lo = roster.dense ? chunk_bounds_[t] : 0;
+    const NodeId hi = roster.dense ? chunk_bounds_[t + 1] : 0;
+    const std::size_t count = roster.dense ? static_cast<std::size_t>(hi - lo) : r_hi - r_lo;
     for (std::size_t i = 0; i < count; ++i) {
-      const NodeId v = roster ? (*roster)[r_lo + i] : lo + static_cast<NodeId>(i);
+      const NodeId v = roster.dense ? lo + static_cast<NodeId>(i) : roster.nodes[r_lo + i];
       out.self_ = v;
       try {
         per_node(v, out);
@@ -136,10 +199,36 @@ void ParallelEngine::run_phase(const std::vector<NodeId>* roster, F&& per_node) 
         return;
       }
     }
-  });
+  };
+  if (T == 1 || width <= kSerialPhaseCutoff) {
+    // Serial fast path: the exact chunks the pool would run, in worker
+    // order on the coordinator — bit-identical state evolution (including
+    // which chunks complete around a throwing node), no pool wakeup.
+    for (int t = 0; t < T; ++t) body(t);
+  } else {
+    phase_ctx_ = &body;
+    phase_body_ = [](void* ctx, int t) { (*static_cast<decltype(body)*>(ctx))(t); };
+    pool_.run(phase_job_);
+  }
   // Merge is order-insensitive (sums and a max), so thread count cannot
-  // perturb Metrics; rounds are only advanced by the coordinator.
-  for (const WorkerState& w : workers_) metrics_.merge(w.metrics);
+  // perturb Metrics; rounds are only advanced by the coordinator. The
+  // flag-plane bookkeeping merges even around failures — the bits are
+  // already set, and the next clear must cover them.
+  FlagBuf& fb = flags_[cur_ ^ 1];
+  for (const WorkerState& w : workers_) {
+    metrics_.merge(w.metrics);
+    if (w.staged_slots) slots_live_[cur_ ^ 1] = true;
+    if (w.staged_flags) {
+      if (!fb.live && fb.dirty_lo == fb.dirty_hi) {
+        fb.dirty_lo = w.flag_lo;
+        fb.dirty_hi = w.flag_hi;
+      } else {
+        fb.dirty_lo = std::min(fb.dirty_lo, w.flag_lo);
+        fb.dirty_hi = std::max(fb.dirty_hi, w.flag_hi);
+      }
+      fb.live = true;
+    }
+  }
   NodeId bad = -1;
   std::exception_ptr err;
   for (const WorkerState& w : workers_) {
@@ -157,18 +246,23 @@ std::int64_t ParallelEngine::run(NodeProgram& program) {
   run_span.arg("threads", pool_.num_threads());
   // Isolate this run's stamp space: a prior run (even one that threw)
   // may have left stamps up to epoch_+1 in the buffers, and advancing by
-  // two keeps them strictly behind every stamp this run can read.
+  // two keeps them strictly behind every stamp this run can read. The
+  // flag plane has no stamps, so both of its buffers are cleared here
+  // (dirty ranges track exactly the words a thrown run could have left).
   epoch_ += 2;
+  for (FlagBuf& b : flags_) {
+    if (b.words) clear_flag_buf(b);
+  }
+  slots_live_[0] = slots_live_[1] = false;
   std::int64_t before_phase = metrics_.messages;
   std::int64_t before_bits = metrics_.total_bits;
   std::int64_t last_phase_messages;
   {
-    const std::vector<NodeId>* roster = program.roster(0);
+    const Roster roster = program.roster(0);
     obs::Span round_span(obs::kCatEngine, "engine.round");
     if (round_span.live()) {
       round_span.arg("round", 0);
-      round_span.arg("roster",
-                     roster ? static_cast<std::int64_t>(roster->size()) : g_->num_nodes());
+      round_span.arg("roster", roster.size_or(g_->num_nodes()));
     }
     run_phase(roster, [&program](NodeId v, Outbox& out) { program.init(v, out); });
     last_phase_messages = metrics_.messages - before_phase;
@@ -181,21 +275,28 @@ std::int64_t ParallelEngine::run(NodeProgram& program) {
   while (!program.done(rounds)) {
     cur_ ^= 1;  // deliver: staged slots carry stamp epoch_+1 == new epoch_
     ++epoch_;
+    // The previous delivery buffer becomes the staging buffer: its flag
+    // words (read during the phase that just ended) must be zero before
+    // any worker stages into them.
+    if (flags_[cur_ ^ 1].live) clear_flag_buf(flags_[cur_ ^ 1]);
+    slots_live_[cur_ ^ 1] = false;
     ++metrics_.rounds;
     ++rounds;
     const std::int64_t r = rounds;
     before_phase = metrics_.messages;
     before_bits = metrics_.total_bits;
-    const std::vector<NodeId>* roster = program.roster(r);
+    const Roster roster = program.roster(r);
     obs::Span round_span(obs::kCatEngine, "engine.round");
     if (round_span.live()) {
       round_span.arg("round", r);
-      round_span.arg("roster",
-                     roster ? static_cast<std::int64_t>(roster->size()) : g_->num_nodes());
+      round_span.arg("roster", roster.size_or(g_->num_nodes()));
     }
-    run_phase(roster, [&, r](NodeId v, Outbox& out) {
+    const std::atomic<std::uint64_t>* fw =
+        flags_[cur_].live ? flags_[cur_].words.get() : nullptr;
+    const bool slots_live = slots_live_[cur_];
+    run_phase(roster, [&, r, fw, slots_live](NodeId v, Outbox& out) {
       const Inbox in(delivered() + offset_[v], g_->neighbors(v).data(), g_->degree(v),
-                     epoch_);
+                     epoch_, fw, offset_[v], slots_live);
       program.on_round(r, v, in, out);
     });
     last_phase_messages = metrics_.messages - before_phase;

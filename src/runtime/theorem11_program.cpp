@@ -19,7 +19,7 @@ LinialResult EngineColoringTransport::linial(const InducedSubgraph& active,
 
 void EngineColoringTransport::build_tree(NodeId root) {
   build_tree_data(eng_, root, &tree_);
-  channel_ = std::make_unique<TreeEngineChannel>(tree_);
+  channel_ = &bfs_channel_;
 }
 
 void EngineColoringTransport::exchange_along(const std::vector<std::vector<NodeId>>& targets,
@@ -60,10 +60,6 @@ std::vector<bool> EngineColoringTransport::conflict_mis(
   conf_eng.run(prog);
   eng_.tick(conf_eng.metrics().rounds);
   return prog.in_mis();
-}
-
-void EngineColoringTransport::set_channel(std::unique_ptr<EngineChannel> channel) {
-  channel_ = std::move(channel);
 }
 
 Theorem11Result theorem11_coloring(const Graph& g, ListInstance inst, int num_threads,

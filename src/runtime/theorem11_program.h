@@ -11,7 +11,6 @@
 #pragma once
 
 #include <cstdint>
-#include <memory>
 #include <vector>
 
 #include "src/coloring/theorem11.h"
@@ -48,9 +47,12 @@ class EngineColoringTransport final : public ColoringTransport {
   void tick(std::int64_t rounds) override { eng_.tick(rounds); }
   const congest::Metrics& metrics() const override { return eng_.metrics(); }
 
-  // Replace the aggregation channel (a ClusterEngineChannel for the
-  // per-cluster transports of EngineCorollary12Transports).
-  void set_channel(std::unique_ptr<EngineChannel> channel);
+  // Point the transport at an externally owned aggregation channel (a
+  // rebindable ClusterEngineChannel for the per-cluster transports of
+  // EngineCorollary12Transports). Non-owning: the caller keeps the
+  // channel alive, which is what lets one channel + TreeData be reused
+  // across every cluster a pool worker runs.
+  void set_channel(EngineChannel* channel) { channel_ = channel; }
 
   ParallelEngine& engine() { return eng_; }
   const TreeData& tree() const { return tree_; }
@@ -60,7 +62,8 @@ class EngineColoringTransport final : public ColoringTransport {
   int num_threads_;
   ParallelEngine eng_;
   TreeData tree_;
-  std::unique_ptr<EngineChannel> channel_;
+  TreeEngineChannel bfs_channel_{tree_};  // bound by build_tree
+  EngineChannel* channel_ = nullptr;
 };
 
 // Drop-in parallel counterpart of dcolor::theorem11_solve_per_component
