@@ -1,0 +1,174 @@
+// dcolor-trace: post-hoc analysis over the artifacts dcolor-bench leaves
+// behind. Two subcommands:
+//
+//   dcolor-trace trace FILE...         critical-path report per Chrome
+//                                      trace (TRACE_*.json): which rounds
+//                                      and phases bound the wall clock,
+//                                      per-thread busy/idle/steal slack.
+//   dcolor-trace diff CUR_DIR BASE_DIR phase-by-phase attribution between
+//                                      two BENCH_*.json record sets —
+//                                      "phase X contributed Y ms of the
+//                                      Z ms delta", calibrated by the
+//                                      median wall ratio exactly like the
+//                                      benchkit baseline gate.
+//
+// The PERFORMANCE.md playbook runs `dcolor-trace diff` FIRST on any
+// regression: it usually names the guilty phase before anyone reaches
+// for a profiler.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "src/benchkit/report.h"
+#include "src/benchkit/runner.h"
+#include "src/obs/trace_analysis.h"
+
+namespace {
+
+constexpr const char* kUsage =
+    "dcolor-trace — critical-path and regression-attribution analysis over\n"
+    "dcolor-bench artifacts\n"
+    "\n"
+    "  dcolor-trace trace FILE...          critical-path report per TRACE_*.json\n"
+    "                                      (Chrome trace from dcolor-bench --trace)\n"
+    "  dcolor-trace diff CUR_DIR BASE_DIR  ranked per-phase wall-time attribution\n"
+    "                                      between two BENCH_*.json directories,\n"
+    "                                      calibrated by the median wall ratio\n"
+    "  dcolor-trace --help                 this text\n"
+    "\n"
+    "exit status: 0 on success, 1 on usage or I/O errors (diff/trace findings\n"
+    "never affect the exit code — gating belongs to dcolor-bench --baseline)\n";
+
+int run_trace(const std::vector<std::string>& files) {
+  if (files.empty()) {
+    std::fprintf(stderr, "dcolor-trace: trace needs at least one TRACE_*.json file\n\n%s",
+                 kUsage);
+    return 1;
+  }
+  int failures = 0;
+  for (const std::string& path : files) {
+    dcolor::obs::TraceData data;
+    std::string err;
+    if (!dcolor::obs::load_trace_file(path, &data, &err)) {
+      std::fprintf(stderr, "dcolor-trace: %s\n", err.c_str());
+      ++failures;
+      continue;
+    }
+    const dcolor::obs::CriticalPathReport report = dcolor::obs::analyze_critical_path(data);
+    std::fputs(dcolor::obs::format_critical_path(report, path).c_str(), stdout);
+    if (data.dropped_events > 0) {
+      std::printf("NOTE: %lld event(s) were dropped recording this trace — the timeline is\n"
+                  "truncated (stats were unaffected)\n",
+                  static_cast<long long>(data.dropped_events));
+    }
+    std::printf("\n");
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+// BENCH_*.json basenames under dir, sorted for deterministic output.
+std::vector<std::string> bench_files(const std::string& dir, std::string* err) {
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("BENCH_", 0) == 0 && name.size() > 5 &&
+        name.compare(name.size() - 5, 5, ".json") == 0) {
+      names.push_back(name);
+    }
+  }
+  if (ec) {
+    *err = "cannot read directory " + dir + ": " + ec.message();
+    return {};
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+int run_diff(const std::string& cur_dir, const std::string& base_dir) {
+  std::string err;
+  const std::vector<std::string> names = bench_files(cur_dir, &err);
+  if (!err.empty()) {
+    std::fprintf(stderr, "dcolor-trace: %s\n", err.c_str());
+    return 1;
+  }
+  if (names.empty()) {
+    std::fprintf(stderr, "dcolor-trace: no BENCH_*.json under %s\n", cur_dir.c_str());
+    return 1;
+  }
+
+  struct Pair {
+    std::string file;
+    dcolor::benchkit::Record current;
+    dcolor::benchkit::Record baseline;
+  };
+  std::vector<Pair> pairs;
+  std::vector<double> ratios;
+  int unmatched = 0;
+  for (const std::string& name : names) {
+    Pair p;
+    p.file = name;
+    std::string rerr;
+    if (!dcolor::benchkit::read_record_file(cur_dir + "/" + name, &p.current, &rerr)) {
+      std::fprintf(stderr, "dcolor-trace: %s\n", rerr.c_str());
+      return 1;
+    }
+    if (!dcolor::benchkit::read_record_file(base_dir + "/" + name, &p.baseline, &rerr) ||
+        p.baseline.wall_ms <= 0) {
+      ++unmatched;
+      continue;
+    }
+    if (p.baseline.n != p.current.n || p.baseline.quick != p.current.quick ||
+        p.baseline.seed != p.current.seed) {
+      ++unmatched;  // incomparable instance — same rule as the gate
+      continue;
+    }
+    ratios.push_back(p.current.wall_ms / p.baseline.wall_ms);
+    pairs.push_back(std::move(p));
+  }
+  if (pairs.empty()) {
+    std::fprintf(stderr, "dcolor-trace: no comparable record pair between %s and %s\n",
+                 cur_dir.c_str(), base_dir.c_str());
+    return 1;
+  }
+
+  double calibration = dcolor::benchkit::median(ratios);
+  if (calibration <= 0) calibration = 1.0;
+  std::printf("phase attribution: %s vs %s — %zu pair(s), %d unmatched, calibration %.3f\n\n",
+              cur_dir.c_str(), base_dir.c_str(), pairs.size(), unmatched, calibration);
+
+  for (const Pair& p : pairs) {
+    const dcolor::obs::PhaseDiff d = dcolor::obs::diff_phases(
+        p.current.phase_wall_ms, p.baseline.phase_wall_ms, p.current.wall_ms,
+        p.baseline.wall_ms, calibration);
+    std::printf("== %s ==\n", p.file.c_str());
+    std::fputs(dcolor::obs::format_phase_diff(d, "  ").c_str(), stdout);
+    std::printf("\n");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2 || std::strcmp(argv[1], "--help") == 0 || std::strcmp(argv[1], "-h") == 0) {
+    std::fputs(kUsage, argc < 2 ? stderr : stdout);
+    return argc < 2 ? 1 : 0;
+  }
+  const std::string cmd = argv[1];
+  if (cmd == "trace") {
+    return run_trace(std::vector<std::string>(argv + 2, argv + argc));
+  }
+  if (cmd == "diff") {
+    if (argc != 4) {
+      std::fprintf(stderr, "dcolor-trace: diff takes exactly CUR_DIR BASE_DIR\n\n%s", kUsage);
+      return 1;
+    }
+    return run_diff(argv[2], argv[3]);
+  }
+  std::fprintf(stderr, "dcolor-trace: unknown subcommand '%s'\n\n%s", cmd.c_str(), kUsage);
+  return 1;
+}

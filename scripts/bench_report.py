@@ -2,9 +2,10 @@
 """Render a markdown dashboard from a directory of BENCH_*.json records.
 
 Reads every BENCH_*.json emitted by `dcolor-bench --json-dir` (schema
-dcolor-bench/1 or /2, see docs/BENCH_SCHEMA.md), and writes a markdown
-report: a summary table (wall-clock medians, throughput, verification
-flags), the per-phase wall-time breakdown that /2 records carry, and an
+dcolor-bench/1, /2 or /3, see docs/BENCH_SCHEMA.md), and writes a
+markdown report: a summary table (wall-clock medians, throughput,
+verification flags), the per-phase wall-time breakdown that /2+ records
+carry, the per-phase latency percentiles from /3 histograms, and an
 optional median-vs-baseline comparison column. CI runs it after the
 bench gate and uploads the result as an artifact next to the raw
 records; it is equally usable locally:
@@ -20,7 +21,7 @@ import json
 import sys
 from pathlib import Path
 
-KNOWN_SCHEMAS = ("dcolor-bench/1", "dcolor-bench/2")
+KNOWN_SCHEMAS = ("dcolor-bench/1", "dcolor-bench/2", "dcolor-bench/3")
 
 
 def load_records(directory: Path):
@@ -170,6 +171,49 @@ def phase_tables(records, out):
         out.append(f"| {name} | {ms:.2f} | {ms / grand * 100.0:.1f}% |")
 
 
+def percentile_table(records, out):
+    """Per-phase latency percentiles from the /3 histogram snapshots.
+
+    The phase breakdown above shows WHERE time went in total; this table
+    shows the SHAPE — a phase whose p99 pulls far away from its p50 has
+    stragglers the totals hide. Only "phase/..." histogram keys are
+    aggregated (metric/pool histograms carry counts, not latencies);
+    percentiles are per-record estimates, so across records the table
+    reports their worst case, which is what a regression hunt wants.
+    """
+    rows = {}
+    dropped = []
+    for rec in records:
+        for key, h in (rec.get("histograms") or {}).items():
+            if not key.startswith("phase/"):
+                continue
+            phase = key[len("phase/"):]
+            row = rows.setdefault(phase, {"count": 0, "total": 0, "p50": 0,
+                                          "p90": 0, "p99": 0, "max": 0})
+            row["count"] += h.get("count", 0)
+            row["total"] += h.get("total", 0)
+            for q in ("p50", "p90", "p99", "max"):
+                row[q] = max(row[q], h.get(q, 0))
+        if rec.get("dropped_events", 0) > 0:
+            dropped.append((instance_label(rec), rec["dropped_events"]))
+    if not rows:
+        out.append("_No phase histograms (pre-/3 records, or tracing-free runs)._")
+        return
+    out.append("| phase | spans | p50 | p90 | p99 | max |")
+    out.append("|---|---|---|---|---|---|")
+
+    def ms(ns):
+        return f"{ns / 1e6:.3f}"
+
+    for phase, row in sorted(rows.items(), key=lambda kv: -kv[1]["total"]):
+        out.append(f"| {phase} | {row['count']} | {ms(row['p50'])} | {ms(row['p90'])} | "
+                   f"{ms(row['p99'])} | {ms(row['max'])} |")
+    if dropped:
+        out.append("")
+        out.append("Dropped trace events (timelines truncated; stats complete): "
+                   + ", ".join(f"{name} ({n})" for name, n in dropped) + ".")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("json_dir", type=Path, help="directory of BENCH_*.json records")
@@ -216,6 +260,14 @@ def main():
                "wall ms — see docs/OBSERVABILITY.md).")
     out.append("")
     phase_tables(records, out)
+    out.append("")
+    out.append("## Phase latency percentiles")
+    out.append("")
+    out.append("Worst per-record percentile estimate per phase, in ms, from "
+               "the /3 histogram snapshots (log-bucketed upper bounds — "
+               "see docs/BENCH_SCHEMA.md).")
+    out.append("")
+    percentile_table(records, out)
     bad = [instance_label(r) for r in records
            if not (r.get("verified", False) and r.get("checksum_stable", False))]
     if bad:

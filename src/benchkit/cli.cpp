@@ -181,13 +181,20 @@ int run_cli(int argc, char** argv, std::FILE* out) {
     const std::vector<int> expansion = s.scalable ? thread_counts : std::vector<int>{1};
     for (int threads : expansion) {
       Measurement m = run_scenario(s, threads, opt);
-      std::fprintf(out, "%-34s t=%-2d n=%-8lld %9.2f ms  rounds=%-10lld %s%s%s%s\n",
+      // Dropped ring events never corrupt stats/histograms, but they do
+      // truncate the TRACE_*.json timeline — surfaced here rather than
+      // silently under-reporting.
+      std::string dropped;
+      if (m.dropped_events > 0) {
+        dropped = " DROPPED-EVENTS(" + std::to_string(m.dropped_events) + ")";
+      }
+      std::fprintf(out, "%-34s t=%-2d n=%-8lld %9.2f ms  rounds=%-10lld %s%s%s%s%s\n",
                    m.name.c_str(), m.threads, static_cast<long long>(m.outcome.n),
                    m.wall_ms_median, static_cast<long long>(m.outcome.metrics.rounds),
                    m.verified ? "verified" : "VERIFY-FAILED",
                    m.checksum_stable ? "" : " CHECKSUM-UNSTABLE",
                    m.profile_checksum_matched ? "" : " TRACE-PERTURBED",
-                   m.warmup_checksum_matched ? "" : " warmup-transient");
+                   m.warmup_checksum_matched ? "" : " warmup-transient", dropped.c_str());
       if (!m.ok()) all_ok = false;
       measurements.push_back(std::move(m));
     }
@@ -280,6 +287,11 @@ int run_cli(int argc, char** argv, std::FILE* out) {
                    line.file.c_str(), line.current_ms, line.baseline_ms, line.ratio,
                    line.limit_ms, line.regressed ? "REGRESSION" : "ok",
                    line.drift.empty() ? "" : "  ", line.drift.c_str());
+      // Regressed lines carry the ranked phase-attribution table — the
+      // gate names the slow phase so failures start half-diagnosed.
+      if (line.regressed && !line.attribution.empty()) {
+        std::fprintf(out, "%s", line.attribution.c_str());
+      }
     }
     // Per-record misses are benign (new scenarios gate after the next
     // baseline refresh), but zero matches means the gate compared

@@ -2,12 +2,15 @@
 
 #include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 
 #include "src/benchkit/json.h"
 #include "src/benchkit/version.h"
+#include "src/obs/obs.h"
+#include "src/obs/trace_analysis.h"
 
 namespace dcolor::benchkit {
 
@@ -60,6 +63,24 @@ Record to_record(const Measurement& m) {
         static_cast<double>(r.n) * static_cast<double>(r.rounds) * 1000.0 / r.wall_ms;
   }
   r.phase_wall_ms = m.phase_wall_ms;
+  r.dropped_events = m.dropped_events;
+  for (const obs::HistogramSnapshot& h : m.histograms) {
+    RecordHistogram rh;
+    rh.key = h.cat + "/" + h.name;
+    rh.count = h.count;
+    rh.total = h.total;
+    rh.min = h.min;
+    rh.max = h.max;
+    rh.p50 = obs::histogram_quantile(h, 0.50);
+    rh.p90 = obs::histogram_quantile(h, 0.90);
+    rh.p99 = obs::histogram_quantile(h, 0.99);
+    for (int b = 0; b < obs::kNumHistogramBuckets; ++b) {
+      if (h.buckets[static_cast<std::size_t>(b)] != 0) {
+        rh.buckets.emplace_back(b, h.buckets[static_cast<std::size_t>(b)]);
+      }
+    }
+    r.histograms.push_back(std::move(rh));
+  }
   r.git = git_describe();
   return r;
 }
@@ -111,7 +132,25 @@ std::string record_json(const Record& r) {
     phases += json_quote(r.phase_wall_ms[i].first) + ":" + json_number(r.phase_wall_ms[i].second);
   }
   phases += "}";
-  w.field_raw("phase_wall_ms", phases).field("git", r.git);
+  w.field_raw("phase_wall_ms", phases).field("dropped_events", r.dropped_events);
+  std::string hists = "{";
+  for (std::size_t i = 0; i < r.histograms.size(); ++i) {
+    const RecordHistogram& h = r.histograms[i];
+    if (i) hists += ',';
+    hists += json_quote(h.key) + ":{\"count\":" + json_number(h.count) +
+             ",\"total\":" + json_number(h.total) + ",\"min\":" + json_number(h.min) +
+             ",\"max\":" + json_number(h.max) + ",\"p50\":" + json_number(h.p50) +
+             ",\"p90\":" + json_number(h.p90) + ",\"p99\":" + json_number(h.p99) +
+             ",\"buckets\":{";
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      if (b) hists += ',';
+      hists += json_quote(std::to_string(h.buckets[b].first)) + ":" +
+               json_number(h.buckets[b].second);
+    }
+    hists += "}}";
+  }
+  hists += "}";
+  w.field_raw("histograms", hists).field("git", r.git);
   return w.close();
 }
 
@@ -123,7 +162,7 @@ bool parse_record(const std::string& json_text, Record* out, std::string* err) {
     return false;
   }
   const std::string schema = v.string_or("schema", "");
-  if (schema != kRecordSchema && schema != kRecordSchemaV1) {
+  if (schema != kRecordSchema && schema != kRecordSchemaV2 && schema != kRecordSchemaV1) {
     if (err) *err = "unexpected schema '" + schema + "'";
     return false;
   }
@@ -159,6 +198,32 @@ bool parse_record(const std::string& json_text, Record* out, std::string* err) {
       if (val.kind == JsonValue::Kind::kNumber) {
         out->phase_wall_ms.emplace_back(name, val.number);
       }
+    }
+  }
+  // /3-only fields; /1 and /2 records keep the defaults (0 / empty).
+  out->dropped_events = static_cast<std::int64_t>(v.number_or("dropped_events", 0));
+  if (const JsonValue* hists = v.find("histograms");
+      hists != nullptr && hists->kind == JsonValue::Kind::kObject) {
+    for (const auto& [key, hv] : hists->object) {
+      if (hv.kind != JsonValue::Kind::kObject) continue;
+      RecordHistogram rh;
+      rh.key = key;
+      rh.count = static_cast<std::int64_t>(hv.number_or("count", 0));
+      rh.total = static_cast<std::int64_t>(hv.number_or("total", 0));
+      rh.min = static_cast<std::int64_t>(hv.number_or("min", 0));
+      rh.max = static_cast<std::int64_t>(hv.number_or("max", 0));
+      rh.p50 = static_cast<std::int64_t>(hv.number_or("p50", 0));
+      rh.p90 = static_cast<std::int64_t>(hv.number_or("p90", 0));
+      rh.p99 = static_cast<std::int64_t>(hv.number_or("p99", 0));
+      if (const JsonValue* buckets = hv.find("buckets");
+          buckets != nullptr && buckets->kind == JsonValue::Kind::kObject) {
+        for (const auto& [bkey, bval] : buckets->object) {
+          if (bval.kind != JsonValue::Kind::kNumber) continue;
+          rh.buckets.emplace_back(std::atoi(bkey.c_str()),
+                                  static_cast<std::int64_t>(bval.number));
+        }
+      }
+      out->histograms.push_back(std::move(rh));
     }
   }
   out->git = v.string_or("git", "");
@@ -250,6 +315,15 @@ BaselineReport compare_with_baseline(const std::vector<Record>& current,
     if (line.current_ms > line.limit_ms) {
       line.regressed = true;
       ++report.regressions;
+      // Attribute the regression to phases when both sides carry a
+      // profiled-rep breakdown: rank phases by their share of the wall
+      // delta so the gate's failure output names the slow phase directly.
+      if (!current[i].phase_wall_ms.empty() && !base.phase_wall_ms.empty()) {
+        const obs::PhaseDiff pd =
+            obs::diff_phases(current[i].phase_wall_ms, base.phase_wall_ms, line.current_ms,
+                             line.baseline_ms, report.calibration);
+        line.attribution = obs::format_phase_diff(pd, "      ");
+      }
     }
     // Determinism drift is reported, not gated: a legitimate algorithm
     // change shifts rounds/messages/checksum and is handled by refreshing

@@ -2,17 +2,21 @@
 // run emits (one file per scenario instance), the reader, and the
 // baseline comparator behind `--baseline` / the CI regression gate.
 //
-// Schema "dcolor-bench/2" — every record is one JSON object with these
+// Schema "dcolor-bench/3" — every record is one JSON object with these
 // keys, in this order:
 //   schema, scenario, family, algorithm, transport, n, m, seed, threads,
 //   scalable, quick, warmup, reps, wall_ms (median), wall_ms_min,
 //   wall_ms_max, rounds, messages, total_bits, max_message_bits,
 //   checksum (hex string), verified, checksum_stable, rss_peak_kb,
-//   nodes_rounds_per_sec, phase_wall_ms (nested {phase: ms} object), git
+//   nodes_rounds_per_sec, phase_wall_ms (nested {phase: ms} object),
+//   dropped_events, histograms (nested {"cat/name": {count, total, min,
+//   max, p50, p90, p99, buckets:{bit_width: count}}} from the profiled
+//   rep — see docs/BENCH_SCHEMA.md), git
 //
-// The parser also accepts "dcolor-bench/1" records (everything up to
-// rss_peak_kb + git), defaulting the /2 fields — so a /2 run still gates
-// against checked-in /1 baselines during a schema transition.
+// The parser also accepts "dcolor-bench/2" (no dropped_events /
+// histograms) and "dcolor-bench/1" (everything up to rss_peak_kb + git)
+// records, defaulting the newer fields — so a /3 run still gates against
+// checked-in older baselines during a schema transition.
 //
 // Baseline comparison is CALIBRATED by default: with ratios r_i =
 // current_i / baseline_i, the median ratio estimates the machine-speed
@@ -32,10 +36,27 @@
 
 namespace dcolor::benchkit {
 
-inline constexpr const char* kRecordSchema = "dcolor-bench/2";
-// Previous schema, still accepted by parse_record (read-only back-compat;
-// the writer always emits kRecordSchema).
+inline constexpr const char* kRecordSchema = "dcolor-bench/3";
+// Previous schemas, still accepted by parse_record (read-only
+// back-compat; the writer always emits kRecordSchema).
+inline constexpr const char* kRecordSchemaV2 = "dcolor-bench/2";
 inline constexpr const char* kRecordSchemaV1 = "dcolor-bench/1";
+
+// One serialized histogram of a /3 record: the obs::HistogramSnapshot
+// for key "cat/name", with write-time percentile estimates and the
+// non-empty buckets as (bit_width, count) pairs in ascending bucket
+// order (see obs::histogram_bucket for the bucket boundaries).
+struct RecordHistogram {
+  std::string key;  // "cat/name"
+  std::int64_t count = 0;
+  std::int64_t total = 0;
+  std::int64_t min = 0;
+  std::int64_t max = 0;
+  std::int64_t p50 = 0;
+  std::int64_t p90 = 0;
+  std::int64_t p99 = 0;
+  std::vector<std::pair<int, std::int64_t>> buckets;
+};
 
 struct Record {
   std::string scenario;
@@ -69,6 +90,11 @@ struct Record {
   // phase name. Phases may nest or run concurrently, so this is span time
   // per phase, not a partition of wall_ms. Empty on parsed /1 records.
   std::vector<std::pair<std::string, double>> phase_wall_ms;
+  // /3: ring events the profiled rep dropped (0 on older records).
+  std::int64_t dropped_events = 0;
+  // /3: the profiled rep's merged histograms, sorted by key. Empty on
+  // parsed /1 and /2 records.
+  std::vector<RecordHistogram> histograms;
   std::string git;
 };
 
@@ -102,6 +128,11 @@ struct BaselineLine {
   bool missing = false;      // no baseline record (new scenario — not a failure)
   bool regressed = false;
   std::string drift;         // non-wall divergence vs baseline (rounds/messages/checksum)
+  // Regressed lines only: the ranked per-phase attribution table
+  // ("#1 phase X ... +Y ms (N% of delta)") from obs::diff_phases over the
+  // two records' phase_wall_ms, pre-formatted for console output. Empty
+  // when either side lacks a phase breakdown.
+  std::string attribution;
 };
 
 struct BaselineReport {

@@ -171,6 +171,8 @@ Measurement run_scenario(const Scenario& s, int threads, const RunnerOptions& op
         m.phase_wall_ms.emplace_back(st.name, static_cast<double>(st.total) / 1e6);
       }
     }
+    m.histograms = session.histograms();
+    m.dropped_events = session.dropped_events();
     if (opt.trace) m.trace_json = session.chrome_trace_json();
   }
 

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "src/benchkit/scenario.h"
+#include "src/obs/obs.h"
 
 namespace dcolor::benchkit {
 
@@ -77,6 +78,15 @@ struct Measurement {
   bool profile_checksum_matched = true;
   // Chrome trace-event JSON of the profiled rep (RunnerOptions::trace).
   std::string trace_json;
+  // Merged (cat, name) histograms from the profiled rep — span durations,
+  // counter samples, and the metric/* value probes (roster sizes, message
+  // batches), sorted by (cat, name). Empty without profiling.
+  std::vector<obs::HistogramSnapshot> histograms;
+  // Ring events the profiled rep dropped (stats/histograms stay complete
+  // regardless; a non-zero value means the TRACE_*.json is truncated).
+  // Surfaced in console output and as a record field rather than
+  // silently under-reporting the timeline.
+  std::int64_t dropped_events = 0;
 
   bool ok() const {
     return verified && checksum_stable && profile_checksum_matched && outcome.n > 0;

@@ -31,6 +31,9 @@ int list_color_subset(ColoringTransport& t, InducedSubgraph& active, ListInstanc
       iter_span.arg("iteration", iterations);
       iter_span.arg("newly_colored", st.newly_colored);
       iter_span.arg("remaining", remaining);
+      // Progress-per-iteration distribution (Lemma 2.1 floor vs typical);
+      // deterministic, so identical at every thread count.
+      obs::value(obs::kCatMetric, "theorem11.newly_colored", st.newly_colored);
     }
   }
   return iterations;

@@ -64,6 +64,10 @@ void Network::advance_round() {
       args.add("bits", metrics_.total_bits - obs_bits_base_);
       obs::complete(obs::kCatNetwork, "network.round", obs_round_start_ns_,
                     now - obs_round_start_ns_, args);
+      // Message-batch size histogram; deterministic, so Network and
+      // engine runs of one pipeline yield comparable distributions.
+      obs::value(obs::kCatMetric, "network.round_messages",
+                 metrics_.messages - obs_messages_base_);
     }
     obs_round_start_ns_ = now;
     obs_messages_base_ = metrics_.messages;

@@ -152,6 +152,14 @@ Corollary12Result corollary12_run(const Graph& g, ListInstance inst,
             cluster_span.arg("class", c.color);
             cluster_span.arg("root", c.root);
             cluster_span.arg("members", static_cast<std::int64_t>(c.members.size()));
+            if (cluster_span.live()) {
+              // Cluster-size distribution: recorded on whichever worker
+              // runs the cluster, but the multiset of sizes is fixed by
+              // the decomposition — the merged histogram is identical at
+              // every thread count.
+              obs::value(obs::kCatMetric, "corollary12.cluster_members",
+                         static_cast<std::int64_t>(c.members.size()));
+            }
             std::vector<bool> memb(n, false);
             for (NodeId v : c.members) memb[v] = true;
             InducedSubgraph active(g, memb);

@@ -1,5 +1,56 @@
 #include "src/obs/obs.h"
 
+#include <bit>
+#include <cmath>
+#include <limits>
+
+namespace dcolor::obs {
+
+// Histogram arithmetic is defined unconditionally: snapshots parsed back
+// from records (benchkit, dcolor-trace) need quantiles even in a
+// -DDCOLOR_OBS_ENABLED=0 build where no recording happens.
+
+std::int64_t saturating_add(std::int64_t a, std::int64_t b) {
+  std::int64_t r;
+  if (__builtin_add_overflow(a, b, &r)) {
+    return b > 0 ? std::numeric_limits<std::int64_t>::max()
+                 : std::numeric_limits<std::int64_t>::min();
+  }
+  return r;
+}
+
+int histogram_bucket(std::int64_t v) {
+  if (v <= 0) return 0;
+  return std::bit_width(static_cast<std::uint64_t>(v));  // 1..63 for positive int64
+}
+
+std::int64_t histogram_bucket_upper(int bucket) {
+  if (bucket <= 0) return 0;
+  if (bucket >= 63) return std::numeric_limits<std::int64_t>::max();
+  return (std::int64_t{1} << bucket) - 1;
+}
+
+std::int64_t histogram_quantile(const HistogramSnapshot& h, double q) {
+  if (h.count <= 0) return 0;
+  const double clamped = q < 0.0 ? 0.0 : (q > 1.0 ? 1.0 : q);
+  std::int64_t rank = static_cast<std::int64_t>(std::ceil(clamped * static_cast<double>(h.count)));
+  if (rank < 1) rank = 1;
+  if (rank > h.count) rank = h.count;
+  std::int64_t cum = 0;
+  for (int b = 0; b < kNumHistogramBuckets; ++b) {
+    cum += h.buckets[b];
+    if (cum >= rank) {
+      std::int64_t est = histogram_bucket_upper(b);
+      if (est < h.min) est = h.min;
+      if (est > h.max) est = h.max;
+      return est;
+    }
+  }
+  return h.max;
+}
+
+}  // namespace dcolor::obs
+
 #if DCOLOR_OBS_ENABLED
 
 #include <algorithm>
@@ -47,13 +98,19 @@ struct Event {
 
 // Single-writer per-thread stat accumulator keyed by (cat, name)
 // pointer identity; duplicates from distinct literals with equal text
-// are merged by string at aggregation time.
+// are merged by string at aggregation time. Each slot doubles as this
+// thread's histogram shard: plain (single-writer) bucket increments at
+// record time, merged by addition in aggregate() — so merged bucket
+// counts are a pure function of the recorded multiset, independent of
+// which thread recorded what.
 struct StatSlot {
   const char* cat = nullptr;
   const char* name = nullptr;
   std::int64_t count = 0;
-  std::int64_t total = 0;
+  std::int64_t total = 0;  // saturating, so pathological values cannot UB
   std::int64_t max = 0;
+  std::int64_t min = 0;  // valid when count > 0
+  std::int64_t buckets[kNumHistogramBuckets] = {};
 };
 
 struct ThreadBuffer {
@@ -80,9 +137,16 @@ struct ThreadBuffer {
               std::int64_t dur_ns, const ArgList& args, bool want_event) {
     // Stats first: they stay complete even when the event ring fills.
     if (StatSlot* s = stat_slot(cat, name)) {
+      if (s->count == 0) {
+        s->min = dur_ns;
+        s->max = dur_ns;
+      } else {
+        s->min = std::min(s->min, dur_ns);
+        s->max = std::max(s->max, dur_ns);
+      }
       ++s->count;
-      s->total += dur_ns;
-      s->max = std::max(s->max, dur_ns);
+      s->total = saturating_add(s->total, dur_ns);
+      ++s->buckets[histogram_bucket(dur_ns)];
     }
     if (!want_event) return;
     std::size_t h = head.load(std::memory_order_relaxed);
@@ -121,6 +185,13 @@ void counter(const char* cat, const char* name, std::int64_t value) {
   TraceSession* s = g_session.load(std::memory_order_acquire);
   if (!s) return;
   s->thread_buffer()->record(cat, name, 'C', now_ns(), value, ArgList{}, s->events_);
+}
+
+void value(const char* cat, const char* name, std::int64_t v) {
+  TraceSession* s = g_session.load(std::memory_order_acquire);
+  if (!s) return;
+  // Stats/histogram only — no ring event, no clock read.
+  s->thread_buffer()->record(cat, name, 'V', 0, v, ArgList{}, /*want_event=*/false);
 }
 
 TraceSession::TraceSession(Options opts)
@@ -163,7 +234,7 @@ void TraceSession::stop() {
 }
 
 void TraceSession::aggregate() {
-  std::map<std::pair<std::string, std::string>, StatLine> merged;
+  std::map<std::pair<std::string, std::string>, HistogramSnapshot> merged;
   std::lock_guard<std::mutex> lock(impl_->mu);
   dropped_ = 0;
   for (const auto& buf : impl_->buffers) {
@@ -173,21 +244,43 @@ void TraceSession::aggregate() {
     dropped_ += buf->dropped.load(std::memory_order_relaxed);
     for (int i = 0; i < buf->stats_used; ++i) {
       const internal::StatSlot& s = buf->stats[i];
-      StatLine& line = merged[{s.cat, s.name}];
-      line.cat = s.cat;
-      line.name = s.name;
-      line.count += s.count;
-      line.total += s.total;
-      line.max = std::max(line.max, s.max);
+      HistogramSnapshot& h = merged[{s.cat, s.name}];
+      if (h.count == 0) {
+        h.cat = s.cat;
+        h.name = s.name;
+        h.min = s.min;
+        h.max = s.max;
+      } else {
+        h.min = std::min(h.min, s.min);
+        h.max = std::max(h.max, s.max);
+      }
+      h.count += s.count;
+      h.total = saturating_add(h.total, s.total);
+      for (int b = 0; b < kNumHistogramBuckets; ++b) h.buckets[b] += s.buckets[b];
     }
   }
   stats_.clear();
-  for (auto& [key, line] : merged) stats_.push_back(std::move(line));
+  histograms_.clear();
+  for (auto& [key, h] : merged) {
+    StatLine line;
+    line.cat = h.cat;
+    line.name = h.name;
+    line.count = h.count;
+    line.total = h.total;
+    line.max = h.max;
+    stats_.push_back(std::move(line));
+    histograms_.push_back(std::move(h));
+  }
 }
 
 const std::vector<StatLine>& TraceSession::stats() {
   stop();
   return stats_;
+}
+
+const std::vector<HistogramSnapshot>& TraceSession::histograms() {
+  stop();
+  return histograms_;
 }
 
 std::int64_t TraceSession::dropped_events() {
@@ -275,6 +368,43 @@ std::string TraceSession::chrome_trace_json() {
     out += ",\"max_ns\":";
     append_int(out, s.max);
     out += '}';
+  }
+  // Same key scheme as dcolorStats; buckets are sparse {bit_width: count}
+  // (see histogram_bucket for the bucket boundaries).
+  out += "},\"dcolorHistograms\":{";
+  for (std::size_t i = 0; i < histograms_.size(); ++i) {
+    const HistogramSnapshot& h = histograms_[i];
+    if (i) out += ',';
+    out += '"';
+    out += h.cat;
+    out += '/';
+    out += h.name;
+    out += "\":{\"count\":";
+    append_int(out, h.count);
+    out += ",\"total\":";
+    append_int(out, h.total);
+    out += ",\"min\":";
+    append_int(out, h.min);
+    out += ",\"max\":";
+    append_int(out, h.max);
+    out += ",\"p50\":";
+    append_int(out, histogram_quantile(h, 0.50));
+    out += ",\"p90\":";
+    append_int(out, histogram_quantile(h, 0.90));
+    out += ",\"p99\":";
+    append_int(out, histogram_quantile(h, 0.99));
+    out += ",\"buckets\":{";
+    bool first_bucket = true;
+    for (int b = 0; b < kNumHistogramBuckets; ++b) {
+      if (h.buckets[b] == 0) continue;
+      if (!first_bucket) out += ',';
+      first_bucket = false;
+      out += '"';
+      append_int(out, b);
+      out += "\":";
+      append_int(out, h.buckets[b]);
+    }
+    out += "}}";
   }
   out += "},\"dcolorDroppedEvents\":";
   append_int(out, dropped_);

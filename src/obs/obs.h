@@ -30,6 +30,7 @@
 #define DCOLOR_OBS_ENABLED 1
 #endif
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -45,6 +46,11 @@ inline constexpr const char* kCatEngine = "engine";
 inline constexpr const char* kCatNetwork = "network";
 inline constexpr const char* kCatPool = "pool";
 inline constexpr const char* kCatCluster = "cluster";
+// Value probes (obs::value): deterministic per-round quantities — roster
+// sizes, message-batch sizes, progress counts — recorded into the stats
+// block and histograms but never into the event ring. Kept out of
+// kCatPhase so they can never leak into the phase_wall_ms breakdown.
+inline constexpr const char* kCatMetric = "metric";
 
 // Up to four small named integer arguments on one event.
 struct ArgList {
@@ -72,6 +78,48 @@ struct StatLine {
   std::int64_t max = 0;
 };
 
+// ---------------------------------------------------------------------
+// Log-bucketed histograms.
+//
+// Every recorded value (span durations in ns, counter samples, value
+// probes) also lands in a power-of-2-bucketed histogram per (cat, name):
+// bucket 0 counts values <= 0 and bucket b >= 1 counts values v with
+// bit_width(v) == b, i.e. 2^(b-1) <= v < 2^b. Bucket counts merge across
+// per-thread shards by addition, so the merged histogram is a pure
+// function of the multiset of recorded values — identical at every
+// thread count when the recorded quantities are deterministic.
+inline constexpr int kNumHistogramBuckets = 64;
+
+// The merged histogram for one (cat, name), valid after
+// TraceSession::stop(). `total` saturates at INT64_MAX instead of
+// wrapping; `min`/`max` are exact over the recorded values.
+struct HistogramSnapshot {
+  std::string cat;
+  std::string name;
+  std::int64_t count = 0;
+  std::int64_t total = 0;  // saturating sum of recorded values
+  std::int64_t min = 0;
+  std::int64_t max = 0;
+  std::array<std::int64_t, kNumHistogramBuckets> buckets{};
+};
+
+// Bucket index of one value: 0 for v <= 0, otherwise bit_width(v)
+// (so 1 -> 1, 2..3 -> 2, 4..7 -> 3, ..., INT64_MAX -> 63).
+int histogram_bucket(std::int64_t v);
+
+// Inclusive upper bound of a bucket (0 for bucket 0, else 2^b - 1,
+// saturating at INT64_MAX).
+std::int64_t histogram_bucket_upper(int bucket);
+
+// Rank-based quantile estimate, q in [0, 1]: the upper bound of the
+// bucket holding the ceil(q * count)-th smallest value, clamped into
+// [min, max] so p100 is exact and estimates never leave the observed
+// range. Deterministic (pure function of the snapshot); 0 on empty.
+std::int64_t histogram_quantile(const HistogramSnapshot& h, double q);
+
+// a + b with saturation at the int64 range bounds instead of overflow.
+std::int64_t saturating_add(std::int64_t a, std::int64_t b);
+
 #if DCOLOR_OBS_ENABLED
 
 // Monotonic nanoseconds (std::chrono::steady_clock).
@@ -88,6 +136,13 @@ void complete(const char* cat, const char* name, std::int64_t start_ns, std::int
 
 // Record a counter ('C') sample on the calling thread's track.
 void counter(const char* cat, const char* name, std::int64_t value);
+
+// Record a value into the stats block and histogram for (cat, name)
+// WITHOUT emitting a ring event — the probe for deterministic per-round
+// quantities (roster sizes, message batches) that would otherwise bloat
+// the event ring. Use kCatMetric so the values stay out of the
+// phase_wall_ms breakdown. No-op without an active session.
+void value(const char* cat, const char* name, std::int64_t v);
 
 // RAII span: records a complete event covering construction→destruction
 // on the calling thread's track. `cat`/`name`/arg keys must be string
@@ -155,8 +210,15 @@ class TraceSession {
   // Aggregated stats, merged across threads, sorted by (cat, name).
   const std::vector<StatLine>& stats();
 
+  // Merged histograms (one per recorded (cat, name)), sorted by
+  // (cat, name). Bucket counts are sums over the per-thread shards, so
+  // histograms over deterministic quantities are bit-identical at every
+  // thread count.
+  const std::vector<HistogramSnapshot>& histograms();
+
   // The Chrome trace-event JSON object: {"displayTimeUnit":"ms",
-  // "traceEvents":[...],"dcolorStats":{...},"dcolorDroppedEvents":N}.
+  // "traceEvents":[...],"dcolorStats":{...},"dcolorHistograms":{...},
+  // "dcolorDroppedEvents":N}.
   // Timestamps are microseconds relative to session start; tids are
   // small integers assigned per thread at first event (0, 1, 2, ... in
   // registration order), each with a thread_name metadata event.
@@ -170,6 +232,7 @@ class TraceSession {
  private:
   friend void complete(const char*, const char*, std::int64_t, std::int64_t, const ArgList&);
   friend void counter(const char*, const char*, std::int64_t);
+  friend void value(const char*, const char*, std::int64_t);
 
   internal::ThreadBuffer* thread_buffer();
   void aggregate();
@@ -183,6 +246,7 @@ class TraceSession {
   struct Impl;
   Impl* impl_;
   std::vector<StatLine> stats_;
+  std::vector<HistogramSnapshot> histograms_;
   std::int64_t dropped_ = 0;
 };
 
@@ -193,6 +257,7 @@ inline bool enabled() { return false; }
 inline void complete(const char*, const char*, std::int64_t, std::int64_t,
                      const ArgList& = {}) {}
 inline void counter(const char*, const char*, std::int64_t) {}
+inline void value(const char*, const char*, std::int64_t) {}
 
 class Span {
  public:
@@ -214,15 +279,17 @@ class TraceSession {
   explicit TraceSession(Options = {}) {}
   void stop() {}
   const std::vector<StatLine>& stats() { return stats_; }
+  const std::vector<HistogramSnapshot>& histograms() { return histograms_; }
   std::string chrome_trace_json() {
     return "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[],\"dcolorStats\":{},"
-           "\"dcolorDroppedEvents\":0}";
+           "\"dcolorHistograms\":{},\"dcolorDroppedEvents\":0}";
   }
   std::int64_t dropped_events() { return 0; }
   std::int64_t start_ns() const { return 0; }
 
  private:
   std::vector<StatLine> stats_;
+  std::vector<HistogramSnapshot> histograms_;
 };
 
 #endif  // DCOLOR_OBS_ENABLED

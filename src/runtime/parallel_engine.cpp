@@ -1,7 +1,11 @@
 #include "src/runtime/parallel_engine.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
 #include <string>
 
@@ -12,8 +16,35 @@ namespace dcolor::runtime {
 
 using congest::CongestViolation;
 
+namespace {
+
+// DCOLOR_SERIAL_CUTOFF, validated: a base-10 integer in [0, 2^30]
+// replaces kSerialPhaseCutoff for every engine constructed afterwards;
+// anything else is warned about once per process and ignored. Read per
+// construction (not cached in a static) so test processes can vary it.
+std::size_t resolve_serial_cutoff() {
+  const char* env = std::getenv("DCOLOR_SERIAL_CUTOFF");
+  if (env == nullptr || *env == '\0') return ParallelEngine::kSerialPhaseCutoff;
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(env, &end, 10);
+  if (errno != 0 || end == env || *end != '\0' || v < 0 || v > (1ll << 30)) {
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true)) {
+      std::fprintf(stderr,
+                   "dcolor: ignoring invalid DCOLOR_SERIAL_CUTOFF='%s' "
+                   "(want an integer in [0, 2^30]); using %zu\n",
+                   env, ParallelEngine::kSerialPhaseCutoff);
+    }
+    return ParallelEngine::kSerialPhaseCutoff;
+  }
+  return static_cast<std::size_t>(v);
+}
+
+}  // namespace
+
 ParallelEngine::ParallelEngine(const Graph& g, int num_threads, int bandwidth_bits)
-    : g_(&g), pool_(num_threads) {
+    : g_(&g), pool_(num_threads), serial_cutoff_(resolve_serial_cutoff()) {
   const int logn = ceil_log2(std::max<std::uint64_t>(g.num_nodes(), 2));
   bandwidth_ = bandwidth_bits > 0 ? bandwidth_bits : 2 * logn + 16;
 
@@ -200,7 +231,7 @@ void ParallelEngine::run_phase(const Roster& roster, F&& per_node) {
       }
     }
   };
-  if (T == 1 || width <= kSerialPhaseCutoff) {
+  if (T == 1 || width <= serial_cutoff_) {
     // Serial fast path: the exact chunks the pool would run, in worker
     // order on the coordinator — bit-identical state evolution (including
     // which chunks complete around a throwing node), no pool wakeup.
@@ -244,6 +275,10 @@ std::int64_t ParallelEngine::run(NodeProgram& program) {
   obs::Span run_span(obs::kCatEngine, "engine.run");
   run_span.arg("nodes", g_->num_nodes());
   run_span.arg("threads", pool_.num_threads());
+  if (run_span.live()) {
+    obs::value(obs::kCatMetric, "engine.serial_cutoff",
+               static_cast<std::int64_t>(serial_cutoff_));
+  }
   // Isolate this run's stamp space: a prior run (even one that threw)
   // may have left stamps up to epoch_+1 in the buffers, and advancing by
   // two keeps them strictly behind every stamp this run can read. The
@@ -263,12 +298,14 @@ std::int64_t ParallelEngine::run(NodeProgram& program) {
     if (round_span.live()) {
       round_span.arg("round", 0);
       round_span.arg("roster", roster.size_or(g_->num_nodes()));
+      obs::value(obs::kCatMetric, "engine.roster", roster.size_or(g_->num_nodes()));
     }
     run_phase(roster, [&program](NodeId v, Outbox& out) { program.init(v, out); });
     last_phase_messages = metrics_.messages - before_phase;
     if (round_span.live()) {
       round_span.arg("messages", last_phase_messages);
       round_span.arg("bits", metrics_.total_bits - before_bits);
+      obs::value(obs::kCatMetric, "engine.round_messages", last_phase_messages);
     }
   }
   std::int64_t rounds = 0;
@@ -290,6 +327,7 @@ std::int64_t ParallelEngine::run(NodeProgram& program) {
     if (round_span.live()) {
       round_span.arg("round", r);
       round_span.arg("roster", roster.size_or(g_->num_nodes()));
+      obs::value(obs::kCatMetric, "engine.roster", roster.size_or(g_->num_nodes()));
     }
     const std::atomic<std::uint64_t>* fw =
         flags_[cur_].live ? flags_[cur_].words.get() : nullptr;
@@ -303,6 +341,7 @@ std::int64_t ParallelEngine::run(NodeProgram& program) {
     if (round_span.live()) {
       round_span.arg("messages", last_phase_messages);
       round_span.arg("bits", metrics_.total_bits - before_bits);
+      obs::value(obs::kCatMetric, "engine.round_messages", last_phase_messages);
     }
   }
   run_span.arg("rounds", rounds);

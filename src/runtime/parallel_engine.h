@@ -119,6 +119,16 @@ class ParallelEngine {
   // depth-many per aggregate) are the common case this serves.
   static constexpr std::size_t kSerialPhaseCutoff = 2048;
 
+  // The cutoff actually in effect for this engine: kSerialPhaseCutoff
+  // unless the DCOLOR_SERIAL_CUTOFF environment variable overrides it
+  // (read at construction; integers in [0, 2^30] accepted, anything else
+  // warned about on stderr and ignored). The override picks the dispatch
+  // PATH, never the work: the serial path runs the pool's exact chunks in
+  // worker order, so results and Metrics are identical at any cutoff —
+  // which is what lets the ROADMAP's auto-tuner sweep it without
+  // rebuilds. Logged per run via the metric/engine.serial_cutoff probe.
+  std::size_t serial_phase_cutoff() const { return serial_cutoff_; }
+
  private:
   friend class Outbox;
 
@@ -167,6 +177,7 @@ class ParallelEngine {
   congest::Metrics metrics_;
 
   ThreadPool pool_;
+  std::size_t serial_cutoff_ = kSerialPhaseCutoff;
   std::vector<NodeId> chunk_bounds_;  // degree-weighted static partition
   std::vector<WorkerState> workers_;
 

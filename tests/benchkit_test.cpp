@@ -2,10 +2,11 @@
 // trips, the canonical table writer's numbers-as-numbers output, the
 // scenario registry, and the dcolor-bench CLI driven through run_cli with
 // test-local scenarios — quick runs emitting schema-complete BENCH_*.json
-// (dcolor-bench/2, with /1 back-compat parsing) with stable checksums,
-// the verification and parity failure paths, the --trace Chrome-trace
-// emission, and the --baseline regression gate tripping on an injected
-// slowdown.
+// (dcolor-bench/3, with /1 and /2 back-compat parsing), histogram and
+// dropped-events round trips, stable checksums, the verification and
+// parity failure paths, the --trace Chrome-trace emission, and the
+// --baseline regression gate tripping on an injected slowdown with a
+// phase-attribution table naming the guilty phase.
 #include <cstdint>
 #include <cstdio>
 #include <filesystem>
@@ -23,6 +24,7 @@
 #include "src/benchkit/runner.h"
 #include "src/benchkit/scenario.h"
 #include "src/benchkit/verify.h"
+#include "src/obs/obs.h"
 
 namespace dcolor::benchkit {
 namespace {
@@ -118,8 +120,29 @@ REGISTER_SCENARIO(Scenario{
       return Prepared{[c] { return busy_outcome(7, c); }};
     }});
 
-// run_cli with a scratch stdout; argv built from strings.
-int cli(std::vector<std::string> args) {
+// Opens cat="phase" obs spans during its run, so the profiled rep records
+// a phase breakdown — the attribution test's raw material. The spans are
+// no-ops during the timed reps (no session active).
+REGISTER_SCENARIO(Scenario{
+    "testkit.phased", "phase-instrumented busy scenario", "synthetic", "testkit", "network", "",
+    /*scalable=*/false, [](const RunConfig& c) {
+      return Prepared{[c] {
+        volatile std::uint64_t acc = 12;
+        {
+          obs::Span slow(obs::kCatPhase, "testkit.phase.slow");
+          for (int i = 0; i < 400000; ++i) acc = acc * 6364136223846793005ull + 1;
+        }
+        {
+          obs::Span fast(obs::kCatPhase, "testkit.phase.fast");
+          for (int i = 0; i < 20000; ++i) acc = acc * 6364136223846793005ull + 1;
+        }
+        return busy_outcome(12, c);
+      }};
+    }});
+
+// run_cli with a scratch stdout, returning (exit code, captured output);
+// argv built from strings.
+std::pair<int, std::string> cli_capture(std::vector<std::string> args) {
   args.insert(args.begin(), "dcolor-bench");
   std::vector<char*> argv;
   argv.reserve(args.size());
@@ -127,9 +150,18 @@ int cli(std::vector<std::string> args) {
   std::FILE* scratch = std::tmpfile();
   const int code =
       run_cli(static_cast<int>(argv.size()), argv.data(), scratch ? scratch : stdout);
-  if (scratch) std::fclose(scratch);
-  return code;
+  std::string out;
+  if (scratch) {
+    std::rewind(scratch);
+    char buf[4096];
+    std::size_t got;
+    while ((got = std::fread(buf, 1, sizeof(buf), scratch)) > 0) out.append(buf, got);
+    std::fclose(scratch);
+  }
+  return {code, std::move(out)};
 }
+
+int cli(std::vector<std::string> args) { return cli_capture(std::move(args)).first; }
 
 std::string slurp(const fs::path& path) {
   std::ifstream in(path);
@@ -226,7 +258,7 @@ TEST(BenchkitJson, TableWriterEmitsNumbersAsNumbers) {
 // ------------------------------------------------------------ registry
 
 TEST(BenchkitRegistry, TestScenariosRegisteredAndUnique) {
-  EXPECT_EQ(all_scenarios().size(), 9u);  // exactly this suite's scenarios
+  EXPECT_EQ(all_scenarios().size(), 10u);  // exactly this suite's scenarios
 }
 
 // A duplicate name would silently drop a workload; registration aborts
@@ -238,8 +270,8 @@ TEST(BenchkitRegistryDeathTest, DuplicateRegistrationAborts) {
 
 TEST(BenchkitRegistry, ListRespectsMinScenarios) {
   EXPECT_EQ(cli({"--list"}), kExitOk);
-  EXPECT_EQ(cli({"--list", "--min-scenarios", "9"}), kExitOk);
-  EXPECT_EQ(cli({"--list", "--min-scenarios", "10"}), kExitVerifyFailure);
+  EXPECT_EQ(cli({"--list", "--min-scenarios", "10"}), kExitOk);
+  EXPECT_EQ(cli({"--list", "--min-scenarios", "11"}), kExitVerifyFailure);
 }
 
 TEST(BenchkitCli, RejectsInvalidThreadCounts) {
@@ -289,7 +321,7 @@ TEST(BenchkitRunner, QuickRunEmitsSchemaCompleteRecords) {
           "threads", "scalable", "quick", "warmup", "reps", "wall_ms", "wall_ms_min",
           "wall_ms_max", "rounds", "messages", "total_bits", "max_message_bits", "checksum",
           "verified", "checksum_stable", "rss_peak_kb", "nodes_rounds_per_sec",
-          "phase_wall_ms", "git"}) {
+          "phase_wall_ms", "dropped_events", "histograms", "git"}) {
       EXPECT_NE(v.find(key), nullptr) << key << " missing from " << leaf;
     }
     EXPECT_EQ(v.string_or("schema", ""), kRecordSchema);
@@ -298,6 +330,10 @@ TEST(BenchkitRunner, QuickRunEmitsSchemaCompleteRecords) {
     EXPECT_GT(v.number_or("nodes_rounds_per_sec", 0), 0.0);
     ASSERT_NE(v.find("phase_wall_ms"), nullptr);
     EXPECT_EQ(v.find("phase_wall_ms")->kind, JsonValue::Kind::kObject);
+    // /3 fields: histograms a nested object, dropped_events a number.
+    ASSERT_NE(v.find("histograms"), nullptr);
+    EXPECT_EQ(v.find("histograms")->kind, JsonValue::Kind::kObject);
+    EXPECT_EQ(v.number_or("dropped_events", -1), 0.0);
     EXPECT_EQ(v.find("n")->kind, JsonValue::Kind::kNumber);
     EXPECT_EQ(v.number_or("n", 0), 64);  // quick size
     EXPECT_EQ(v.number_or("seed", 0), 42);
@@ -339,6 +375,93 @@ TEST(BenchkitReport, V1RecordsStillParse) {
   // a real /1 record simply lacks them and keeps the defaults.
   text.replace(text.find(v1), v1.size(), "dcolor-bench/0");
   EXPECT_FALSE(parse_record(text, &parsed, &err));
+}
+
+TEST(BenchkitReport, V2RecordsStillParse) {
+  Record r;
+  r.scenario = "testkit.v2compat";
+  r.wall_ms = 5.0;
+  std::string text = record_json(r);
+  const std::string cur = kRecordSchema;
+  ASSERT_NE(text.find(cur), std::string::npos);
+  text.replace(text.find(cur), cur.size(), kRecordSchemaV2);
+
+  Record parsed;
+  std::string err;
+  ASSERT_TRUE(parse_record(text, &parsed, &err)) << err;
+  EXPECT_EQ(parsed.scenario, "testkit.v2compat");
+  EXPECT_DOUBLE_EQ(parsed.wall_ms, 5.0);
+  EXPECT_EQ(parsed.dropped_events, 0);
+  EXPECT_TRUE(parsed.histograms.empty());
+}
+
+// The /3 additions survive a writer -> parser round trip field by field,
+// including the sparse bucket list.
+TEST(BenchkitReport, V3HistogramsAndDroppedEventsRoundTrip) {
+  Record r;
+  r.scenario = "testkit.v3roundtrip";
+  r.wall_ms = 5.0;
+  r.dropped_events = 7;
+  RecordHistogram h;
+  h.key = "metric/engine.roster";
+  h.count = 3;
+  h.total = 12;
+  h.min = 2;
+  h.max = 6;
+  h.p50 = 3;
+  h.p90 = 6;
+  h.p99 = 6;
+  h.buckets = {{2, 2}, {3, 1}};
+  r.histograms.push_back(h);
+
+  Record parsed;
+  std::string err;
+  ASSERT_TRUE(parse_record(record_json(r), &parsed, &err)) << err;
+  EXPECT_EQ(parsed.dropped_events, 7);
+  ASSERT_EQ(parsed.histograms.size(), 1u);
+  const RecordHistogram& p = parsed.histograms[0];
+  EXPECT_EQ(p.key, "metric/engine.roster");
+  EXPECT_EQ(p.count, 3);
+  EXPECT_EQ(p.total, 12);
+  EXPECT_EQ(p.min, 2);
+  EXPECT_EQ(p.max, 6);
+  EXPECT_EQ(p.p50, 3);
+  EXPECT_EQ(p.p90, 6);
+  EXPECT_EQ(p.p99, 6);
+  EXPECT_EQ(p.buckets, h.buckets);
+}
+
+// The real pipeline end to end: a profiled scenario run whose record
+// carries the obs histograms (with sane percentile ordering), parsed back
+// from disk.
+TEST(BenchkitRunner, RecordsCarryProfiledHistograms) {
+  const fs::path dir = fresh_dir("hist_records");
+  ASSERT_EQ(cli({"--quick", "--reps", "1", "--filter", "testkit.phased", "--json-dir",
+                 dir.string()}),
+            kExitOk);
+  Record rec;
+  std::string err;
+  ASSERT_TRUE(read_record_file((dir / "BENCH_testkit_phased.json").string(), &rec, &err))
+      << err;
+  ASSERT_FALSE(rec.histograms.empty());
+  bool saw_slow = false;
+  for (const RecordHistogram& h : rec.histograms) {
+    EXPECT_GT(h.count, 0) << h.key;
+    std::int64_t bucket_sum = 0;
+    for (const auto& [bucket, cnt] : h.buckets) {
+      EXPECT_GE(bucket, 0) << h.key;
+      EXPECT_LT(bucket, obs::kNumHistogramBuckets) << h.key;
+      bucket_sum += cnt;
+    }
+    EXPECT_EQ(bucket_sum, h.count) << h.key;
+    EXPECT_LE(h.min, h.max) << h.key;
+    EXPECT_LE(h.p50, h.p90) << h.key;
+    EXPECT_LE(h.p90, h.p99) << h.key;
+    EXPECT_LE(h.p99, h.max) << h.key;
+    if (h.key == "phase/testkit.phase.slow") saw_slow = true;
+  }
+  EXPECT_TRUE(saw_slow);
+  EXPECT_EQ(rec.dropped_events, 0);
 }
 
 // The regression gate compares /1 baselines against /2 records without
@@ -650,6 +773,43 @@ TEST(BenchkitBaseline, CalibrationNeutralizesUniformMachineSpeedChange) {
                  faster.string(), "--threshold", "50", "--abs-slack-ms", "0.01",
                  "--no-calibrate"}),
             kExitRegression);
+}
+
+// The acceptance criterion for the attribution tooling: on an injected
+// slowdown, the gate's failure output must NAME the slow phase as the
+// top attribution line — failures start half-diagnosed.
+TEST(BenchkitBaseline, RegressionAttributionNamesTheSlowPhase) {
+  const fs::path current = fresh_dir("attrib_current");
+  ASSERT_EQ(cli({"--quick", "--reps", "2", "--filter", "testkit.phased", "--json-dir",
+                 current.string()}),
+            kExitOk);
+  Record rec;
+  std::string err;
+  ASSERT_TRUE(read_record_file((current / "BENCH_testkit_phased.json").string(), &rec, &err))
+      << err;
+  ASSERT_FALSE(rec.phase_wall_ms.empty());
+
+  // Doctor a baseline claiming the wall AND the slow phase used to run
+  // 1000x faster; the fast phase is untouched, so virtually the whole
+  // delta belongs to testkit.phase.slow.
+  const fs::path doctored = fresh_dir("attrib_base");
+  rec.wall_ms /= 1000.0;
+  for (auto& [name, ms] : rec.phase_wall_ms) {
+    if (name == "testkit.phase.slow") ms /= 1000.0;
+  }
+  ASSERT_TRUE(write_record_file(doctored.string(), rec, &err)) << err;
+
+  const auto [code, out] =
+      cli_capture({"--quick", "--reps", "2", "--filter", "testkit.phased", "--baseline",
+                   doctored.string(), "--threshold", "15", "--abs-slack-ms", "0.01",
+                   "--no-calibrate"});
+  EXPECT_EQ(code, kExitRegression);
+  EXPECT_NE(out.find("REGRESSION"), std::string::npos) << out;
+  EXPECT_NE(out.find("phase attribution"), std::string::npos) << out;
+  const std::size_t first = out.find("#1 ");
+  ASSERT_NE(first, std::string::npos) << out;
+  const std::string line = out.substr(first, out.find('\n', first) - first);
+  EXPECT_NE(line.find("testkit.phase.slow"), std::string::npos) << out;
 }
 
 // ------------------------------------------------------------ verifiers

@@ -1,4 +1,4 @@
-// The observability gate, in three parts:
+// The observability gate, in four parts:
 //
 //  1. obs core semantics — session lifecycle (one active session per
 //     process, sequential sessions fine), span/counter aggregation into
@@ -15,14 +15,22 @@
 //     are bit-identical with tracing on or off, on the Network reference
 //     and on the engine at 1 and N threads, for both the Theorem 1.1 and
 //     Corollary 1.2 pipelines.
+//  4. Histograms — log-bucket boundaries and quantile estimation, capture
+//     from spans/counters/value probes, saturation on pathological
+//     totals, shard-merge determinism (the count-valued metric/*
+//     histograms of an engine workload are bit-identical at every thread
+//     count), and a multi-writer stress test that doubles as the TSan
+//     exercise for the lock-free write path.
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <set>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/benchkit/json.h"
@@ -372,6 +380,233 @@ TEST(ObsDeterminism, Corollary12IdenticalWithTracingOnAndOff) {
     expect_metrics_eq(traced.metrics, plain.metrics, where);
     expect_metrics_eq(traced.metrics, ref.metrics, where);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Part 4: histograms.
+
+const obs::HistogramSnapshot* find_hist(const std::vector<obs::HistogramSnapshot>& hists,
+                                        const std::string& cat, const std::string& name) {
+  for (const obs::HistogramSnapshot& h : hists) {
+    if (h.cat == cat && h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+TEST(ObsHistogram, BucketBoundariesArePowersOfTwo) {
+  // Bucket 0 holds v <= 0; bucket b holds 2^(b-1) <= v < 2^b.
+  EXPECT_EQ(obs::histogram_bucket(-5), 0);
+  EXPECT_EQ(obs::histogram_bucket(0), 0);
+  EXPECT_EQ(obs::histogram_bucket(1), 1);
+  EXPECT_EQ(obs::histogram_bucket(2), 2);
+  EXPECT_EQ(obs::histogram_bucket(3), 2);
+  EXPECT_EQ(obs::histogram_bucket(4), 3);
+  EXPECT_EQ(obs::histogram_bucket(7), 3);
+  EXPECT_EQ(obs::histogram_bucket(8), 4);
+  EXPECT_EQ(obs::histogram_bucket((std::int64_t{1} << 62) - 1), 62);
+  EXPECT_EQ(obs::histogram_bucket(std::int64_t{1} << 62), 63);
+  EXPECT_EQ(obs::histogram_bucket(std::numeric_limits<std::int64_t>::max()), 63);
+
+  EXPECT_EQ(obs::histogram_bucket_upper(0), 0);
+  EXPECT_EQ(obs::histogram_bucket_upper(1), 1);
+  EXPECT_EQ(obs::histogram_bucket_upper(2), 3);
+  EXPECT_EQ(obs::histogram_bucket_upper(3), 7);
+  EXPECT_EQ(obs::histogram_bucket_upper(63), std::numeric_limits<std::int64_t>::max());
+  // Every positive value lands in the bucket whose range contains it.
+  for (std::int64_t v : {std::int64_t{1}, std::int64_t{5}, std::int64_t{1000},
+                         std::int64_t{1} << 40}) {
+    const int b = obs::histogram_bucket(v);
+    EXPECT_LE(v, obs::histogram_bucket_upper(b));
+    EXPECT_GT(v, obs::histogram_bucket_upper(b - 1));
+  }
+}
+
+TEST(ObsHistogram, QuantileEstimatesFromBucketsClampedToObservedRange) {
+  obs::HistogramSnapshot h;
+  EXPECT_EQ(obs::histogram_quantile(h, 0.5), 0);  // empty -> 0
+
+  // Values {1, 2, 4, 8}: buckets 1, 2, 3, 4.
+  h.count = 4;
+  h.min = 1;
+  h.max = 8;
+  h.buckets[1] = 1;
+  h.buckets[2] = 1;
+  h.buckets[3] = 1;
+  h.buckets[4] = 1;
+  EXPECT_EQ(obs::histogram_quantile(h, 0.0), 1);   // rank clamps to 1
+  EXPECT_EQ(obs::histogram_quantile(h, 0.25), 1);  // bucket 1 upper = 1
+  EXPECT_EQ(obs::histogram_quantile(h, 0.50), 3);  // bucket 2 upper = 3
+  EXPECT_EQ(obs::histogram_quantile(h, 0.75), 7);  // bucket 3 upper = 7
+  EXPECT_EQ(obs::histogram_quantile(h, 1.0), 8);   // bucket 4 upper 15 clamps to max
+}
+
+TEST(ObsHistogram, SpansCountersAndValueProbesAllCapture) {
+  obs::TraceSession session;
+  { obs::Span sp(obs::kCatPhase, "hist.span"); }
+  obs::counter(obs::kCatPool, "hist.counter", 5);
+  obs::counter(obs::kCatPool, "hist.counter", 9);
+  obs::value(obs::kCatMetric, "hist.value", 3);
+  obs::value(obs::kCatMetric, "hist.value", 12);
+  session.stop();
+
+  const std::vector<obs::HistogramSnapshot>& hists = session.histograms();
+  // Sorted by (cat, name), mirroring stats().
+  for (std::size_t i = 1; i < hists.size(); ++i) {
+    EXPECT_LE(std::make_pair(hists[i - 1].cat, hists[i - 1].name),
+              std::make_pair(hists[i].cat, hists[i].name));
+  }
+
+  const obs::HistogramSnapshot* span = find_hist(hists, "phase", "hist.span");
+  ASSERT_NE(span, nullptr);
+  EXPECT_EQ(span->count, 1);
+  EXPECT_EQ(span->min, span->max);
+
+  const obs::HistogramSnapshot* ctr = find_hist(hists, "pool", "hist.counter");
+  ASSERT_NE(ctr, nullptr);
+  EXPECT_EQ(ctr->count, 2);
+  EXPECT_EQ(ctr->total, 14);
+  EXPECT_EQ(ctr->min, 5);
+  EXPECT_EQ(ctr->max, 9);
+  EXPECT_EQ(ctr->buckets[obs::histogram_bucket(5)], 1);
+  EXPECT_EQ(ctr->buckets[obs::histogram_bucket(9)], 1);
+
+  // Value probes land under kCatMetric — NOT kCatPhase — so they can
+  // never leak into the phase_wall_ms breakdown benchkit extracts.
+  const obs::HistogramSnapshot* val = find_hist(hists, "metric", "hist.value");
+  ASSERT_NE(val, nullptr);
+  EXPECT_EQ(val->count, 2);
+  EXPECT_EQ(val->total, 15);
+  EXPECT_EQ(val->min, 3);
+  EXPECT_EQ(val->max, 12);
+  EXPECT_EQ(find_hist(hists, "phase", "hist.value"), nullptr);
+
+  // The no-session path is a no-op, like every other probe.
+  obs::value(obs::kCatMetric, "hist.nosession", 1);
+}
+
+TEST(ObsHistogram, TotalsSaturateInsteadOfOverflowing) {
+  obs::TraceSession session;
+  obs::value(obs::kCatMetric, "hist.sat", std::numeric_limits<std::int64_t>::max());
+  obs::value(obs::kCatMetric, "hist.sat", std::numeric_limits<std::int64_t>::max());
+  session.stop();
+  const obs::HistogramSnapshot* h = find_hist(session.histograms(), "metric", "hist.sat");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 2);
+  EXPECT_EQ(h->total, std::numeric_limits<std::int64_t>::max());
+  EXPECT_EQ(h->max, std::numeric_limits<std::int64_t>::max());
+  EXPECT_EQ(h->buckets[63], 2);
+}
+
+void expect_hist_eq(const obs::HistogramSnapshot& a, const obs::HistogramSnapshot& b,
+                    const std::string& where) {
+  EXPECT_EQ(a.count, b.count) << where;
+  EXPECT_EQ(a.total, b.total) << where;
+  EXPECT_EQ(a.min, b.min) << where;
+  EXPECT_EQ(a.max, b.max) << where;
+  EXPECT_EQ(a.buckets, b.buckets) << where;
+}
+
+TEST(ObsHistogram, MetricHistogramsBitIdenticalAcrossThreadCounts) {
+  // The merged histogram is a pure function of the recorded multiset, and
+  // the count-valued metric/* probes record deterministic quantities
+  // (roster sizes, message counts, cluster sizes) — so the snapshots must
+  // be BIT-identical whether one thread recorded everything or N threads
+  // recorded shards of it.
+  const Graph g = make_clustered(4, 10, 0.5, 8, test::kTestSeed + 2);
+  const ListInstance inst = ListInstance::random_lists(g, 4 * (g.max_degree() + 1), 31);
+
+  std::vector<obs::HistogramSnapshot> base;
+  {
+    obs::TraceSession session;
+    const Corollary12Result r = runtime::corollary12_coloring(g, inst, 1);
+    session.stop();
+    ASSERT_TRUE(inst.valid_solution(r.colors));
+    base = session.histograms();
+  }
+  ASSERT_NE(find_hist(base, "metric", "engine.roster"), nullptr);
+  ASSERT_NE(find_hist(base, "metric", "engine.round_messages"), nullptr);
+  ASSERT_NE(find_hist(base, "metric", "corollary12.cluster_members"), nullptr);
+
+  for (int threads : {2, 3}) {
+    obs::TraceSession session;
+    const Corollary12Result r = runtime::corollary12_coloring(g, inst, threads);
+    session.stop();
+    ASSERT_TRUE(inst.valid_solution(r.colors));
+    const std::vector<obs::HistogramSnapshot>& hists = session.histograms();
+    for (const obs::HistogramSnapshot& b : base) {
+      if (b.cat != obs::kCatMetric) continue;
+      const obs::HistogramSnapshot* h = find_hist(hists, b.cat, b.name);
+      ASSERT_NE(h, nullptr) << b.name << " t" << threads;
+      expect_hist_eq(*h, b, b.name + " t" + std::to_string(threads));
+    }
+    // Time-valued phase histograms keep deterministic COUNTS (durations
+    // vary run to run).
+    for (const obs::HistogramSnapshot& b : base) {
+      if (b.cat != obs::kCatPhase) continue;
+      const obs::HistogramSnapshot* h = find_hist(hists, b.cat, b.name);
+      ASSERT_NE(h, nullptr) << b.name << " t" << threads;
+      EXPECT_EQ(h->count, b.count) << b.name << " t" << threads;
+    }
+  }
+}
+
+TEST(ObsHistogram, ConcurrentWritersMergeExactly) {
+  // Multi-thread shard stress: every recorded value must be counted
+  // exactly once after the merge. Under TSan this doubles as the data-race
+  // gate for the per-thread write path.
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  obs::TraceSession::Options opts;
+  opts.events = false;
+  obs::TraceSession session(opts);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        obs::value(obs::kCatMetric, "hist.stress", (t * kPerThread + i) % 1000);
+        obs::counter(obs::kCatPool, "hist.stress_ctr", i);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  session.stop();
+
+  const obs::HistogramSnapshot* h = find_hist(session.histograms(), "metric", "hist.stress");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, static_cast<std::int64_t>(kThreads) * kPerThread);
+  std::int64_t bucket_sum = 0;
+  for (int b = 0; b < obs::kNumHistogramBuckets; ++b) bucket_sum += h->buckets[b];
+  EXPECT_EQ(bucket_sum, h->count);
+  EXPECT_EQ(h->min, 0);
+  EXPECT_EQ(h->max, 999);
+
+  const obs::HistogramSnapshot* c = find_hist(session.histograms(), "pool", "hist.stress_ctr");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->count, static_cast<std::int64_t>(kThreads) * kPerThread);
+}
+
+TEST(ObsHistogram, ChromeTraceJsonCarriesHistogramBlock) {
+  obs::TraceSession session;
+  obs::value(obs::kCatMetric, "hist.json", 6);
+  obs::value(obs::kCatMetric, "hist.json", 9);
+  session.stop();
+
+  JsonValue v;
+  std::string err;
+  ASSERT_TRUE(json_parse(session.chrome_trace_json(), &v, &err)) << err;
+  const JsonValue* hists = v.find("dcolorHistograms");
+  ASSERT_NE(hists, nullptr);
+  ASSERT_EQ(hists->kind, JsonValue::Kind::kObject);
+  const JsonValue* h = hists->find("metric/hist.json");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->number_or("count", -1), 2.0);
+  EXPECT_EQ(h->number_or("total", -1), 15.0);
+  EXPECT_EQ(h->number_or("min", -1), 6.0);
+  EXPECT_EQ(h->number_or("max", -1), 9.0);
+  const JsonValue* buckets = h->find("buckets");
+  ASSERT_NE(buckets, nullptr);
+  EXPECT_EQ(buckets->number_or("3", 0), 1.0);  // 6 -> bucket 3
+  EXPECT_EQ(buckets->number_or("4", 0), 1.0);  // 9 -> bucket 4
 }
 
 }  // namespace

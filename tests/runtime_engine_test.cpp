@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <functional>
 #include <stdexcept>
 #include <vector>
@@ -268,6 +269,35 @@ TEST(EngineParity, ThreadCountCannotPerturbResults) {
     EXPECT_EQ(got.coloring, ref.coloring) << threads;
     expect_metrics_eq(eng.metrics(), eng1.metrics());
   }
+}
+
+TEST(ParallelEngine, SerialCutoffEnvOverrideCannotPerturbResults) {
+  auto g = make_powerlaw(600, 2.5, 11);
+  const InducedSubgraph all = test::all_active(g);
+  ParallelEngine ref_eng(g, 3);
+  EXPECT_EQ(ref_eng.serial_phase_cutoff(), ParallelEngine::kSerialPhaseCutoff);
+  const LinialResult ref = runtime::linial_coloring(ref_eng, all);
+
+  // The override is read at engine construction. 0 forces every phase
+  // through the pool; a huge cutoff forces the serial path — the results
+  // and Metrics must be bit-identical either way, because the serial path
+  // walks the pool's exact chunks.
+  for (const char* cutoff : {"0", "1000000"}) {
+    ASSERT_EQ(setenv("DCOLOR_SERIAL_CUTOFF", cutoff, 1), 0);
+    ParallelEngine eng(g, 3);
+    EXPECT_EQ(eng.serial_phase_cutoff(), static_cast<std::size_t>(std::atoll(cutoff)));
+    const LinialResult got = runtime::linial_coloring(eng, all);
+    EXPECT_EQ(got.coloring, ref.coloring) << cutoff;
+    expect_metrics_eq(eng.metrics(), ref_eng.metrics());
+  }
+
+  // Invalid values are ignored (warn once on stderr), keeping the default.
+  for (const char* bad : {"abc", "-5", "", "12junk", "2000000000000"}) {
+    ASSERT_EQ(setenv("DCOLOR_SERIAL_CUTOFF", bad, 1), 0);
+    ParallelEngine eng(g, 2);
+    EXPECT_EQ(eng.serial_phase_cutoff(), ParallelEngine::kSerialPhaseCutoff) << bad;
+  }
+  ASSERT_EQ(unsetenv("DCOLOR_SERIAL_CUTOFF"), 0);
 }
 
 TEST(ParallelEngine, TinyGraphs) {
